@@ -1,0 +1,297 @@
+"""Ablations of the design choices the paper discusses.
+
+Each ablation turns one optimisation off (or one file-system mismatch on)
+and checks the direction of the effect:
+
+* collective two-phase I/O vs naive independent strided writes;
+* data sieving on vs off for strided independent reads;
+* single shared file vs file-per-grid (HDF4-style) on GPFS tokens;
+* stripe-aligned collective file domains (``cb_align``) vs unaligned --
+  the paper's closing suggestion that file systems and MPI-IO should agree
+  on "flexible, application-specific disk file striping".
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import run_checkpoint_experiment
+from repro.enzo import MPIIOStrategy
+from repro.mpi import run_spmd
+from repro.mpi.datatypes import FLOAT64, Subarray
+from repro.mpiio import File, Hints
+from repro.topology import ibm_sp2, origin2000
+
+from .conftest import record_result
+
+
+def block_bounds(n, parts, i):
+    base, rem = divmod(n, parts)
+    lo = i * base + min(i, rem)
+    return lo, base + (1 if i < rem else 0)
+
+
+def strided_write_program(comm, collective: bool, hints: Hints):
+    """Each rank writes a (1, Block, 1) slab of a 3-D array: heavily strided."""
+    shape = (32, 32, 32)
+    lo, n = block_bounds(shape[1], comm.size, comm.rank)
+    ftype = Subarray(shape, (shape[0], n, shape[2]), (0, lo, 0), FLOAT64)
+    fh = File.open(comm, "ablate", "w", hints=hints)
+    fh.set_view(0, FLOAT64, ftype)
+    data = np.full((shape[0], n, shape[2]), float(comm.rank))
+    t0 = comm.clock
+    if collective:
+        fh.write_all(data)
+    else:
+        fh.write(data)
+    elapsed = comm.clock - t0
+    fh.close()
+    return elapsed
+
+
+@pytest.mark.parametrize("collective", [True, False])
+def test_ablation_collective_vs_independent(benchmark, collective):
+    machine = origin2000(nprocs=8)
+    hints = Hints(ds_write=False)
+
+    def once():
+        res = run_spmd(
+            machine, strided_write_program, nprocs=8, args=(collective, hints)
+        )
+        return max(res.results)
+
+    elapsed = benchmark.pedantic(once, rounds=1, iterations=1)
+    record_result(
+        "ablation-collective",
+        strategy="two-phase" if collective else "independent",
+        nprocs=8,
+        write_s=elapsed,
+        read_s=0.0,
+    )
+    benchmark.extra_info["sim_write_s"] = round(elapsed, 4)
+
+
+def test_ablation_collective_wins_on_strided_pattern():
+    def run(collective):
+        machine = origin2000(nprocs=8)
+        res = run_spmd(
+            machine,
+            strided_write_program,
+            nprocs=8,
+            args=(collective, Hints(ds_write=False)),
+        )
+        return max(res.results)
+
+    assert run(True) < run(False)
+
+
+def test_ablation_data_sieving_wins_on_strided_reads():
+    def run(ds_read):
+        machine = origin2000(nprocs=4)
+
+        def program(comm):
+            shape = (32, 32, 32)
+            hints = Hints(ds_read=ds_read)
+            if comm.rank == 0:
+                fh = File.open(comm.split(0 if comm.rank == 0 else None),
+                               "f", "w")
+                fh.write_at(0, np.zeros(int(np.prod(shape))))
+                fh.close()
+            else:
+                comm.split(None)
+            from repro.mpi import collectives as coll
+
+            coll.barrier(comm)
+            machine.fs.reset_timing()
+            lo, n = block_bounds(shape[1], comm.size, comm.rank)
+            ftype = Subarray(shape, (shape[0], n, shape[2]), (0, lo, 0), FLOAT64)
+            fh = File.open(comm, "f", "r", hints=hints)
+            fh.set_view(0, FLOAT64, ftype)
+            t0 = comm.clock
+            fh.read(np.empty((shape[0], n, shape[2])))
+            elapsed = comm.clock - t0
+            fh.close()
+            return elapsed
+
+        return max(run_spmd(machine, program, nprocs=4).results)
+
+    assert run(True) < run(False)
+
+
+def test_ablation_shared_file_vs_file_per_grid_on_gpfs(benchmark):
+    """On GPFS, HDF4's file-per-grid sidesteps the shared-write tokens;
+    forcing the MPI-IO strategy's shared file pays them.  (The paper's
+    explanation of Figure 7 in one experiment.)"""
+    from repro.bench import build_workload
+
+    h = build_workload("AMR16")
+
+    def once():
+        m_shared = ibm_sp2(nprocs=32)
+        shared = run_checkpoint_experiment(
+            m_shared, MPIIOStrategy(), h, nprocs=32, do_read=False
+        )
+        return m_shared.fs.token_revocations, shared.write_time
+
+    revocations, write_time = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert revocations > 0
+    record_result(
+        "ablation-shared-file-gpfs",
+        strategy="shared-file",
+        nprocs=32,
+        write_s=write_time,
+        read_s=0.0,
+    )
+
+
+def test_ablation_stripe_aligned_domains_reduce_token_traffic():
+    """cb_align = stripe size keeps each domain's stripes on one owner."""
+    from repro.bench import build_workload
+
+    h = build_workload("AMR16")
+
+    def revocations(align):
+        m = ibm_sp2(nprocs=32)
+        hints = Hints(cb_align=align)
+        run_checkpoint_experiment(
+            m, MPIIOStrategy(hints=hints), h, nprocs=32, do_read=False
+        )
+        return m.fs.token_revocations
+
+    aligned = revocations(256 * 1024)
+    unaligned = revocations(0)
+    assert aligned <= unaligned
+
+
+def test_ablation_listio_vs_sieving_on_pvfs():
+    """PVFS list I/O: the access list travels in one request, so strided
+    independent access beats both naive per-segment I/O and RMW sieving
+    when per-request (iod) costs dominate -- the successor optimisation to
+    this paper from the same group."""
+    from repro.topology import chiba_city
+
+    def strided_write(comm, hints):
+        shape = (32, 32)
+        n = shape[1] // comm.size
+        lo = comm.rank * n
+        ftype = Subarray(shape, (shape[0], n), (0, lo), FLOAT64)
+        fh = File.open(comm, "lio", "w", hints=hints)
+        fh.set_view(0, FLOAT64, ftype)
+        t0 = comm.clock
+        fh.write(np.full((shape[0], n), 1.0))
+        elapsed = comm.clock - t0
+        fh.close()
+        return elapsed
+
+    def run(hints):
+        machine = chiba_city(8)
+        res = run_spmd(machine, strided_write, nprocs=8, args=(hints,))
+        return max(res.results)
+
+    t_naive = run(Hints(ds_write=False))
+    t_listio = run(Hints(use_listio=True))
+    assert t_listio < t_naive
+
+
+def test_ablation_listio_fewer_requests():
+    from repro.topology import chiba_city
+
+    def strided_write(comm, hints):
+        shape = (32, 32)
+        n = shape[1] // comm.size
+        lo = comm.rank * n
+        ftype = Subarray(shape, (shape[0], n), (0, lo), FLOAT64)
+        fh = File.open(comm, "lio", "w", hints=hints)
+        fh.set_view(0, FLOAT64, ftype)
+        fh.write(np.full((shape[0], n), 1.0))
+        fh.close()
+
+    m1 = chiba_city(8)
+    run_spmd(m1, strided_write, nprocs=8, args=(Hints(use_listio=True),))
+    m2 = chiba_city(8)
+    run_spmd(m2, strided_write, nprocs=8, args=(Hints(ds_write=False),))
+    assert m1.fs.counters.writes < m2.fs.counters.writes / 4
+
+
+def test_ablation_write_behind_buffering():
+    """Liao et al.'s write-behind: small sequential independent writes
+    coalesce client-side into large flushes."""
+
+    def sequential_small_writes(comm, hints):
+        fh = File.open(comm, "wb", "w", hints=hints)
+        fh.seek(comm.rank * 65536)
+        t0 = comm.clock
+        for _ in range(64):
+            fh.write(b"x" * 1024)
+        fh.close()
+        return comm.clock - t0
+
+    def run(wb):
+        machine = origin2000(nprocs=4)
+        res = run_spmd(
+            machine, sequential_small_writes, nprocs=4,
+            args=(Hints(wb_buffer_size=wb),),
+        )
+        return max(res.results), machine.fs.counters.writes
+
+    t_buffered, reqs_buffered = run(1 << 20)
+    t_direct, reqs_direct = run(0)
+    assert reqs_buffered < reqs_direct / 8
+    assert t_buffered <= t_direct
+
+
+def test_ablation_hdf5_alignment_fixes_misalignment():
+    """H5Pset_alignment (the later remedy for the paper's complaint #2):
+    stripe-aligned dataset data no longer straddles stripe boundaries."""
+    import numpy as np
+
+    from repro.hdf5 import H5Costs, H5File
+
+    def dataset_offsets(alignment):
+        machine = origin2000(nprocs=1)
+
+        def program(comm):
+            f = H5File.create(
+                comm, "h5", driver="sec2",
+                costs=H5Costs(alignment=alignment),
+            )
+            offs = []
+            for i in range(4):
+                d = f.create_dataset(f"d{i}", (512,), np.float64)
+                offs.append(d.header.data_offset)
+                d.write(np.zeros(512), collective=False)
+                d.close()
+            f.close()
+            return offs
+
+        return run_spmd(machine, program, nprocs=1).results[0]
+
+    stripe = 1 << 20
+    aligned = dataset_offsets(stripe)
+    stock = dataset_offsets(0)
+    assert all(off % stripe == 0 for off in aligned)
+    assert any(off % stripe != 0 for off in stock)
+
+
+def test_ablation_initial_read_vs_restart_read():
+    """The paper's two read paths differ in structure: the new-simulation
+    read partitions every grid among all processors, while the restart
+    read hands whole subgrids out round-robin.  Under HDF4 the initial
+    read funnels every byte through P0 and must be the slower of the two;
+    the parallel strategy reads both ways at full width."""
+    from repro.bench import build_initial_workload
+
+    h = build_initial_workload("AMR32")
+
+    def read_time(strategy, read_op):
+        m = origin2000(nprocs=8)
+        return run_checkpoint_experiment(
+            m, strategy, h, nprocs=8, read_op=read_op
+        ).read_time
+
+    from repro.enzo import HDF4Strategy
+
+    hdf4_initial = read_time(HDF4Strategy(), "initial")
+    hdf4_restart = read_time(HDF4Strategy(), "restart")
+    assert hdf4_initial >= hdf4_restart
+    mpiio_initial = read_time(MPIIOStrategy(), "initial")
+    assert mpiio_initial < hdf4_initial

@@ -1,0 +1,74 @@
+"""Figure 10: HDF5 I/O versus MPI-IO write performance on the Origin2000.
+
+Paper content: parallel HDF5, although it sits on MPI-IO, writes much more
+slowly than the direct MPI-IO implementation, because of (1) internal
+synchronisation at every dataset create/close, (2) metadata stored in the
+data file causing misalignment and small interleaved metadata writes,
+(3) recursive hyperslab packing, and (4) rank-0-only attribute writes.
+
+Expected shape: HDF5 write several times slower than MPI-IO write at every
+processor count; ablating the per-dataset overheads (cheap H5Costs) closes
+most of the gap, demonstrating the mechanisms.
+"""
+
+import pytest
+
+from repro.bench import run_checkpoint_experiment
+from repro.topology import origin2000
+
+from .conftest import FULL, STRATEGIES, run_figure_point
+
+PROCS = [4, 8, 16] if FULL else [4, 16]
+
+
+@pytest.mark.parametrize("nprocs", PROCS)
+@pytest.mark.parametrize("strategy", ["mpi-io", "hdf5"])
+def test_fig10_hdf5_vs_mpiio_write(benchmark, workload, nprocs, strategy):
+    run_figure_point(
+        benchmark,
+        "fig10-hdf5-vs-mpiio",
+        origin2000,
+        nprocs,
+        strategy,
+        workload,
+        do_read=False,
+    )
+
+
+def test_fig10_shape_hdf5_much_worse(workload):
+    results = {}
+    for name in ("mpi-io", "hdf5"):
+        results[name] = run_checkpoint_experiment(
+            origin2000(nprocs=8), STRATEGIES[name](), workload, nprocs=8,
+            do_read=False,
+        )
+    assert results["hdf5"].write_time > 2.0 * results["mpi-io"].write_time
+
+
+def test_fig10_mechanism_dataset_overheads(workload):
+    """With the library's per-dataset costs ablated, HDF5 approaches MPI-IO.
+
+    This isolates the paper's explanation: the gap is library overhead
+    (create/close sync, metadata writes, packing), not the data path.
+    """
+    from repro.enzo import HDF5Strategy
+    from repro.hdf5 import H5Costs
+
+    stock = run_checkpoint_experiment(
+        origin2000(nprocs=8), HDF5Strategy(), workload, nprocs=8, do_read=False
+    )
+    free_costs = H5Costs(
+        dataset_create=0.0,
+        dataset_close=0.0,
+        attribute_write=0.0,
+        pack_per_run=0.0,
+        open_close=0.0,
+    )
+    ablated = run_checkpoint_experiment(
+        origin2000(nprocs=8),
+        HDF5Strategy(costs=free_costs),
+        workload,
+        nprocs=8,
+        do_read=False,
+    )
+    assert ablated.write_time < 0.6 * stock.write_time

@@ -1,0 +1,86 @@
+"""Figure 7: ENZO I/O performance on the IBM SP with GPFS.
+
+Paper content: on the SP, the optimised MPI-IO implementation performs
+*worse* than the original HDF4 I/O.  The causes the paper names -- the
+application's many smaller-than-stripe accesses against GPFS's "very large,
+fixed striping size", write-token conflicts on the shared file, and the
+long per-node I/O request queue when many processors of one SMP node do
+I/O -- are all present in the GPFS model.  Expected shape: MPI-IO write
+clearly slower than HDF4 write, reads comparable-to-worse, and the penalty
+shrinking for the larger problem size ("for larger problem size ... this
+situation can be meliorated in some degree").
+"""
+
+import pytest
+
+from repro.bench import build_initial_workload, build_workload, run_checkpoint_experiment
+from repro.topology import ibm_sp2
+
+from .conftest import FULL, PROBLEM, STRATEGIES, run_figure_point
+
+PROCS = [32, 64] if FULL else [32]
+
+
+@pytest.fixture(scope="session")
+def initial_workload():
+    return build_initial_workload(PROBLEM)
+
+
+@pytest.mark.parametrize("nprocs", PROCS)
+@pytest.mark.parametrize("strategy", ["hdf4", "mpi-io"])
+def test_fig7_sp2_gpfs(benchmark, workload, initial_workload, nprocs, strategy):
+    run_figure_point(
+        benchmark,
+        "fig7-ibmsp-gpfs",
+        ibm_sp2,
+        nprocs,
+        strategy,
+        workload,
+        read_hierarchy=initial_workload,
+    )
+
+
+def test_fig7_shape_mpiio_loses_on_write(workload, initial_workload):
+    """The inverted result: shared-file MPI-IO writes lose on GPFS."""
+    results = {}
+    for name in ("hdf4", "mpi-io"):
+        results[name] = run_checkpoint_experiment(
+            ibm_sp2(nprocs=32),
+            STRATEGIES[name](),
+            workload,
+            nprocs=32,
+            read_hierarchy=initial_workload,
+        )
+    assert results["mpi-io"].write_time > results["hdf4"].write_time
+
+
+def test_fig7_shape_token_thrash_is_the_mechanism(workload):
+    """Token revocations happen for the shared file, not for HDF4's files."""
+    m = ibm_sp2(nprocs=32)
+    run_checkpoint_experiment(
+        m, STRATEGIES["mpi-io"](), workload, nprocs=32, do_read=False
+    )
+    mpiio_revocations = m.fs.token_revocations
+    m2 = ibm_sp2(nprocs=32)
+    run_checkpoint_experiment(
+        m2, STRATEGIES["hdf4"](), workload, nprocs=32, do_read=False
+    )
+    hdf4_revocations = m2.fs.token_revocations
+    assert mpiio_revocations > 10 * max(hdf4_revocations, 1)
+
+
+def test_fig7_shape_larger_problem_meliorates(workload):
+    """AMR128's larger requests amortise the fixed token/queue costs."""
+    small = build_workload("AMR16")
+    big = build_workload("AMR32")
+
+    def ratio(h):
+        times = {}
+        for name in ("hdf4", "mpi-io"):
+            times[name] = run_checkpoint_experiment(
+                ibm_sp2(nprocs=32), STRATEGIES[name](), h, nprocs=32,
+                do_read=False,
+            ).write_time
+        return times["mpi-io"] / times["hdf4"]
+
+    assert ratio(big) < ratio(small)

@@ -1,0 +1,81 @@
+"""Figure 8: ENZO I/O performance on the Linux cluster with PVFS.
+
+Paper content: with compute and I/O nodes joined by fast Ethernet, the
+communication overhead dominates both implementations; MPI-IO's *read* is
+"a little better than HDF4 read because of the caching and ROMIO
+data-sieving techniques", and results improve for the larger problem size
+(fewer repeated small-chunk accesses).
+
+Expected shape here: both strategies Ethernet-bound and much slower than on
+the other platforms; MPI-IO read better than HDF4 read; the MPI-IO/HDF4
+ratio improving from AMR-small to AMR-large.
+"""
+
+import pytest
+
+from repro.bench import (
+    build_initial_workload,
+    build_workload,
+    run_checkpoint_experiment,
+)
+from repro.topology import chiba_city, origin2000
+
+from .conftest import PROBLEM, STRATEGIES, run_figure_point
+
+
+@pytest.fixture(scope="session")
+def initial_workload():
+    return build_initial_workload(PROBLEM)
+
+
+@pytest.mark.parametrize("strategy", ["hdf4", "mpi-io"])
+def test_fig8_chiba_pvfs(benchmark, workload, initial_workload, strategy):
+    run_figure_point(
+        benchmark,
+        "fig8-chiba-pvfs",
+        lambda nprocs: chiba_city(nprocs),
+        8,
+        strategy,
+        workload,
+        read_hierarchy=initial_workload,
+    )
+
+
+def test_fig8_shape_ethernet_dominates(workload, initial_workload):
+    """Both strategies are far slower on PVFS/Ethernet than on Origin2000."""
+    for name in ("hdf4", "mpi-io"):
+        eth = run_checkpoint_experiment(
+            chiba_city(8), STRATEGIES[name](), workload, nprocs=8,
+            read_hierarchy=initial_workload,
+        )
+        o2k = run_checkpoint_experiment(
+            origin2000(nprocs=8), STRATEGIES[name](), workload, nprocs=8,
+            read_hierarchy=initial_workload,
+        )
+        assert eth.write_time > 1.5 * o2k.write_time
+        assert eth.read_time > 1.5 * o2k.read_time
+
+
+def test_fig8_shape_mpiio_read_beats_hdf4(workload, initial_workload):
+    """MPI read a little better thanks to sieving + server caching."""
+    results = {}
+    for name in ("hdf4", "mpi-io"):
+        results[name] = run_checkpoint_experiment(
+            chiba_city(8), STRATEGIES[name](), workload, nprocs=8,
+            read_hierarchy=initial_workload,
+        )
+    assert results["mpi-io"].read_time < results["hdf4"].read_time
+
+
+def test_fig8_shape_larger_problem_relatively_better(workload):
+    """'Results tend to be better for larger size of problem'."""
+    small = build_workload("AMR16")
+    big = build_workload("AMR32")
+
+    def mb_per_sim_second(h):
+        r = run_checkpoint_experiment(
+            chiba_city(8), STRATEGIES["mpi-io"](), h, nprocs=8, do_read=False
+        )
+        return (r.bytes_written / 2**20) / r.write_time
+
+    assert mb_per_sim_second(big) > mb_per_sim_second(small)

@@ -1,0 +1,67 @@
+"""Table 1: amount of data read/written per problem size.
+
+The paper's table reports the ENZO application's I/O volumes for AMR64,
+AMR128 and AMR256.  The volumes follow from the workload structure, so this
+benchmark computes them two ways and cross-checks:
+
+* analytically, from :class:`repro.enzo.sizing.WorkloadModel`;
+* empirically, by building the workload hierarchy and summing its arrays
+  (for the sizes small enough to materialise quickly).
+
+Expected shape (paper): roughly 8x growth per problem-size step, and the
+cumulative write volume exceeding the initial-read volume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import build_workload
+from repro.core import format_table
+from repro.enzo import WorkloadModel, table1
+
+from .conftest import record_result
+
+
+def test_table1_analytic_volumes(benchmark):
+    rows = benchmark.pedantic(table1, rounds=1, iterations=1)
+    printable = [
+        [r["problem"], f"{r['read_mb']:.1f}", f"{r['write_mb']:.1f}"]
+        for r in rows
+    ]
+    print()
+    print("Table 1 (analytic): data volume per problem size")
+    print(format_table(["problem", "read [MB]", "write [MB]"], printable))
+    for r in rows:
+        record_result(
+            "table1",
+            problem=r["problem"],
+            strategy="analytic",
+            write_s=0.0,
+            read_s=0.0,
+            mb_read=r["read_mb"],
+            mb_written=r["write_mb"],
+        )
+    # Paper shape: ~8x per step, writes > reads.
+    for a, b in zip(rows, rows[1:]):
+        assert 6 < b["read_mb"] / a["read_mb"] < 9
+        assert 6 < b["write_mb"] / a["write_mb"] < 9
+    for r in rows:
+        assert r["write_mb"] > r["read_mb"]
+
+
+@pytest.mark.parametrize("problem", ["AMR16", "AMR32", "AMR64"])
+def test_table1_measured_checkpoint_volume(benchmark, problem):
+    """Empirical check: a materialised hierarchy matches the byte model."""
+    hierarchy = benchmark.pedantic(
+        build_workload, args=(problem,), rounds=1, iterations=1
+    )
+    measured = hierarchy.total_data_nbytes()
+    from repro.enzo import CheckpointLayout, HierarchyMeta
+
+    layout = CheckpointLayout(HierarchyMeta.from_hierarchy(hierarchy))
+    assert layout.total_nbytes == measured
+    root_cells = int(np.prod(hierarchy.root.dims))
+    model = WorkloadModel(root_dims=hierarchy.root.dims)
+    # The analytic model's read volume uses an assumed refined fraction;
+    # the measured hierarchy must land within a broad factor of it.
+    assert 0.2 < measured / model.read_bytes() < 5.0

@@ -1,0 +1,115 @@
+"""Shared benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper.  The
+pytest-benchmark timer measures host wall-clock of the simulation; the
+numbers that reproduce the paper are the *simulated* I/O times, which every
+benchmark attaches to ``benchmark.extra_info`` and prints as a paper-style
+series at the end of the session.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROBLEM`` -- workload size (default ``AMR32``; the paper's
+  sizes ``AMR64``/``AMR128`` work too and take proportionally longer);
+* ``REPRO_BENCH_FULL=1``  -- run the full processor-count matrix.
+"""
+
+import os
+
+import pytest
+
+from repro.bench import build_workload, run_checkpoint_experiment
+from repro.enzo import HDF4Strategy, HDF5Strategy, MPIIOStrategy
+
+PROBLEM = os.environ.get("REPRO_BENCH_PROBLEM", "AMR32")
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+STRATEGIES = {
+    "hdf4": HDF4Strategy,
+    "mpi-io": MPIIOStrategy,
+    "hdf5": HDF5Strategy,
+}
+
+_results: list[dict] = []
+
+
+def record_result(figure: str, **fields) -> None:
+    _results.append({"figure": figure, **fields})
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return build_workload(PROBLEM)
+
+
+@pytest.fixture(scope="session")
+def problem_name():
+    return PROBLEM
+
+
+def run_figure_point(
+    benchmark, figure, machine_factory, nprocs, strategy_name, workload, **kw
+):
+    """One (machine, nprocs, strategy) data point of a figure.
+
+    Runs the experiment once under the benchmark timer and records the
+    simulated write/read times for the end-of-session table.
+    """
+    strategy = STRATEGIES[strategy_name]()
+
+    def once():
+        machine = machine_factory(nprocs)
+        return run_checkpoint_experiment(
+            machine, strategy, workload, nprocs=nprocs, **kw
+        )
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = figure
+    benchmark.extra_info["problem"] = PROBLEM
+    benchmark.extra_info["nprocs"] = nprocs
+    benchmark.extra_info["strategy"] = strategy_name
+    benchmark.extra_info["sim_write_s"] = round(result.write_time, 4)
+    benchmark.extra_info["sim_read_s"] = round(result.read_time, 4)
+    record_result(
+        figure,
+        problem=PROBLEM,
+        nprocs=nprocs,
+        strategy=strategy_name,
+        write_s=result.write_time,
+        read_s=result.read_time,
+        mb_written=result.bytes_written / 2**20,
+        mb_read=result.bytes_read / 2**20,
+    )
+    return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _results:
+        return
+    from repro.core import format_table
+
+    tp = session.config.pluginmanager.get_plugin("terminalreporter")
+    out = tp.write_line if tp else print
+    out("")
+    out("=" * 72)
+    out(f"Paper-series summary (simulated seconds, problem={PROBLEM})")
+    out("=" * 72)
+    by_figure: dict[str, list[dict]] = {}
+    for r in _results:
+        by_figure.setdefault(r["figure"], []).append(r)
+    for figure in sorted(by_figure):
+        rows = [
+            [
+                r.get("problem", ""),
+                r.get("nprocs", ""),
+                r.get("strategy", ""),
+                f"{r['write_s']:.3f}" if "write_s" in r else "",
+                f"{r['read_s']:.3f}" if "read_s" in r else "",
+            ]
+            for r in by_figure[figure]
+        ]
+        out("")
+        out(f"--- {figure} ---")
+        for line in format_table(
+            ["problem", "P", "strategy", "write[s]", "read[s]"], rows
+        ).splitlines():
+            out(line)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: dump and restart an AMR checkpoint with two I/O strategies.
+
+Builds a small ENZO-like AMR hierarchy, writes a checkpoint with the
+original sequential-HDF4 strategy and with the paper's optimised MPI-IO
+strategy on a simulated SGI Origin2000, verifies both round-trip
+bit-exactly, and prints the simulated I/O times.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench import (
+    build_initial_workload,
+    build_workload,
+    run_checkpoint_experiment,
+    workload_summary,
+)
+from repro.core import format_table
+from repro.enzo import HDF4Strategy, MPIIOStrategy
+from repro.topology import origin2000
+
+
+def main() -> None:
+    problem = "AMR32"
+    hierarchy = build_workload(problem)
+    initial = build_initial_workload(problem)
+    print(f"workload {problem}: {workload_summary(hierarchy)}")
+    print()
+
+    rows = []
+    for strategy in (HDF4Strategy(), MPIIOStrategy()):
+        result = run_checkpoint_experiment(
+            origin2000(nprocs=8),
+            strategy,
+            hierarchy,
+            nprocs=8,
+            read_hierarchy=initial,
+        )
+        rows.append(
+            [
+                strategy.name,
+                f"{result.write_time:.3f}",
+                f"{result.read_time:.3f}",
+                f"{result.bytes_written / 2**20:.1f}",
+                result.fs_write_requests,
+            ]
+        )
+
+    print("SGI Origin2000 / XFS, 8 processors (simulated seconds):")
+    print(
+        format_table(
+            ["strategy", "write [s]", "read [s]", "MB written", "write reqs"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "The MPI-IO strategy wins because the top grid is written with\n"
+        "collective two-phase I/O and particles with a parallel sort plus\n"
+        "block-wise writes, instead of funnelling through processor 0."
+    )
+
+
+if __name__ == "__main__":
+    main()

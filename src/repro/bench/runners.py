@@ -1,0 +1,145 @@
+"""Experiment runners: one strategy on one machine, write + restart read.
+
+:func:`run_checkpoint_experiment` is the unit every figure benchmark is
+built from: it executes the checkpoint dump and the restart read as SPMD
+programs on a simulated machine and reports virtual-time results plus
+file-system counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..amr.hierarchy import GridHierarchy
+from ..enzo.io_base import IOStrategy
+from ..enzo.state import RankState
+from ..mpi.runner import run_spmd
+from ..topology.machine import Machine
+
+__all__ = ["ExperimentResult", "run_checkpoint_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Timings (simulated seconds) and volumes for one run."""
+
+    machine: str
+    strategy: str
+    nprocs: int
+    write_time: float
+    read_time: float
+    write_phases: dict
+    read_phases: dict
+    bytes_written: int
+    bytes_read: int
+    fs_write_requests: int
+    fs_read_requests: int
+
+    def row(self) -> list:
+        return [
+            self.machine,
+            self.strategy,
+            self.nprocs,
+            f"{self.write_time:.3f}",
+            f"{self.read_time:.3f}",
+        ]
+
+
+def run_checkpoint_experiment(
+    machine: Machine,
+    strategy: IOStrategy,
+    hierarchy: GridHierarchy,
+    *,
+    nprocs: int | None = None,
+    base: str = "ckpt",
+    do_read: bool = True,
+    read_op: str = "initial",
+    read_hierarchy: GridHierarchy | None = None,
+) -> ExperimentResult:
+    """Dump ``hierarchy`` with ``strategy`` on ``machine``, then read back.
+
+    The write and the read run as separate SPMD jobs against the same file
+    system (so the read consumes the write's real bytes); times are the
+    virtual-clock maxima across ranks for each operation alone.
+
+    ``read_op`` selects the read path the paper's figures measure:
+    ``"initial"`` (new-simulation read: every grid partitioned among all
+    processors -- HDF4 reads through P0, the parallel strategies read
+    collectively) or ``"restart"`` (round-robin whole-subgrid reads).
+    """
+    if read_op not in ("initial", "restart"):
+        raise ValueError(f"unknown read_op {read_op!r}")
+    nprocs = nprocs or machine.nprocs
+    fs = machine.fs
+    if fs is None:
+        raise ValueError("machine has no file system")
+
+    def write_program(comm):
+        state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+        return strategy.write_checkpoint(comm, state, base)
+
+    machine.reset_timing()
+    fs.counters.reset()
+    wres = run_spmd(machine, write_program, nprocs=nprocs)
+    write_time = max(s.elapsed for s in wres.results)
+    write_phases = _merge_phases([s.phases for s in wres.results])
+    bytes_written = fs.counters.bytes_written
+    fs_write_requests = fs.counters.writes
+
+    read_time = 0.0
+    read_phases: dict = {}
+    bytes_read = 0
+    fs_read_requests = 0
+    if do_read:
+        # The read experiment consumes the *initial grids* when a separate
+        # read hierarchy is given (the paper's new-simulation read measures
+        # different data than the dump); create its files untimed.
+        read_base = base
+        if read_hierarchy is not None and read_hierarchy is not hierarchy:
+            read_base = f"{base}.init"
+
+            def init_write_program(comm):
+                state = RankState.from_hierarchy(
+                    read_hierarchy, comm.rank, comm.size
+                )
+                return strategy.write_checkpoint(comm, state, read_base)
+
+            run_spmd(machine, init_write_program, nprocs=nprocs)
+
+        def read_program(comm):
+            if read_op == "initial":
+                _state, stats = strategy.read_initial(comm, read_base)
+            else:
+                _state, stats = strategy.read_checkpoint(comm, read_base)
+            return stats
+
+        machine.reset_timing()
+        fs.counters.reset()
+        rres = run_spmd(machine, read_program, nprocs=nprocs)
+        read_time = max(s.elapsed for s in rres.results)
+        read_phases = _merge_phases([s.phases for s in rres.results])
+        bytes_read = fs.counters.bytes_read
+        fs_read_requests = fs.counters.reads
+
+    return ExperimentResult(
+        machine=machine.name,
+        strategy=strategy.name,
+        nprocs=nprocs,
+        write_time=write_time,
+        read_time=read_time,
+        write_phases=write_phases,
+        read_phases=read_phases,
+        bytes_written=bytes_written,
+        bytes_read=bytes_read,
+        fs_write_requests=fs_write_requests,
+        fs_read_requests=fs_read_requests,
+    )
+
+
+def _merge_phases(per_rank: list[dict]) -> dict:
+    """Max across ranks per phase (the critical-path view)."""
+    out: dict = {}
+    for phases in per_rank:
+        for k, v in phases.items():
+            out[k] = max(out.get(k, 0.0), v)
+    return out

@@ -1,0 +1,79 @@
+"""Benchmark workloads: the ENZO problem sizes as ready-made hierarchies.
+
+``AMR64``/``AMR128``/``AMR256`` are the paper's sizes; the scaled-down
+``AMR16``/``AMR32`` exist so the full benchmark matrix also runs quickly on
+a laptop.  Hierarchies are deterministic per (problem, seed) and cached.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..amr.hierarchy import GridHierarchy
+from ..amr.initial_conditions import make_initial_conditions
+from ..enzo.simulation import PROBLEM_SIZES
+
+__all__ = ["build_workload", "workload_summary"]
+
+
+@lru_cache(maxsize=8)
+def build_workload(
+    problem: str = "AMR64",
+    *,
+    seed: int = 0,
+    pre_refine: int = 1,
+    particles_per_cell: float = 0.25,
+    refine_threshold: float = 2.2,
+) -> GridHierarchy:
+    """The checkpoint-dump hierarchy for one problem size (cached).
+
+    An evolved-looking hierarchy: a few dozen moderately-sized subgrids
+    clustered around the overdensities, which is what a per-cycle data
+    dump writes.
+    """
+    dims = PROBLEM_SIZES[problem]
+    return make_initial_conditions(
+        dims,
+        particles_per_cell=particles_per_cell,
+        seed=seed,
+        pre_refine=pre_refine,
+        refine_threshold=refine_threshold,
+    )
+
+
+@lru_cache(maxsize=8)
+def build_initial_workload(
+    problem: str = "AMR64",
+    *,
+    seed: int = 0,
+    particles_per_cell: float = 0.25,
+) -> GridHierarchy:
+    """The new-simulation *initial grids*: root + a few pre-refined subgrids.
+
+    The paper's read experiments read these ("the top-grid and some
+    pre-refined subgrids"), each partitioned among all processors.  The
+    clustering parameters produce a handful of large patches rather than
+    the many small grids of an evolved hierarchy.
+    """
+    dims = PROBLEM_SIZES[problem]
+    return make_initial_conditions(
+        dims,
+        particles_per_cell=particles_per_cell,
+        seed=seed,
+        pre_refine=1,
+        refine_threshold=2.6,
+        refine_kwargs={
+            "min_efficiency": 0.05,
+            "max_box_cells": 32768,
+        },
+    )
+
+
+def workload_summary(hierarchy: GridHierarchy) -> dict:
+    return {
+        "grids": len(hierarchy),
+        "max_level": hierarchy.max_level,
+        "cells": hierarchy.total_cells(),
+        "particles": hierarchy.total_particles(),
+        "data_mb": hierarchy.total_data_nbytes() / 2**20,
+    }

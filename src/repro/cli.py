@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1``                     -- print the data-volume table;
+* ``figure fig6|fig7|fig8|fig9|fig10`` -- run one figure's experiments and
+  draw the paper-style chart;
+* ``analyze``                    -- trace a checkpoint dump and print the
+  Pablo-style I/O report plus the optimizer's plan;
+* ``simulate``                   -- run the full ENZO flow with dumps and a
+  verified restart.
+
+Common options: ``--problem AMR16|AMR32|AMR64|AMR128`` and ``--procs N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .bench import (
+    build_initial_workload,
+    build_workload,
+    run_checkpoint_experiment,
+)
+from .bench.figures import render_figure
+from .core import format_table
+from .enzo import HDF4Strategy, HDF5Strategy, MPIIOStrategy, table1
+from .topology import chiba_city, chiba_city_local, ibm_sp2, origin2000
+
+__all__ = ["main"]
+
+STRATEGIES = {
+    "hdf4": HDF4Strategy,
+    "mpi-io": MPIIOStrategy,
+    "hdf5": HDF5Strategy,
+}
+
+FIGURES = {
+    "fig6": {
+        "title": "Figure 6: ENZO I/O on SGI Origin2000 / XFS",
+        "machine": lambda n: origin2000(nprocs=n),
+        "procs": [2, 4, 8, 16, 32],
+        "strategies": ["hdf4", "mpi-io"],
+        "metrics": ["write", "read"],
+    },
+    "fig7": {
+        "title": "Figure 7: ENZO I/O on IBM SP / GPFS",
+        "machine": lambda n: ibm_sp2(nprocs=n),
+        "procs": [32, 64],
+        "strategies": ["hdf4", "mpi-io"],
+        "metrics": ["write", "read"],
+    },
+    "fig8": {
+        "title": "Figure 8: ENZO I/O on Chiba City / PVFS (fast Ethernet)",
+        "machine": lambda n: chiba_city(8),
+        "procs": [8],
+        "strategies": ["hdf4", "mpi-io"],
+        "metrics": ["write", "read"],
+    },
+    "fig9": {
+        "title": "Figure 9: ENZO I/O on Chiba City / node-local disks",
+        "machine": lambda n: chiba_city_local(8),
+        "procs": [2, 4, 8],
+        "strategies": ["hdf4", "mpi-io"],
+        "metrics": ["write", "read"],
+    },
+    "fig10": {
+        "title": "Figure 10: HDF5 vs MPI-IO write on SGI Origin2000",
+        "machine": lambda n: origin2000(nprocs=n),
+        "procs": [4, 8, 16],
+        "strategies": ["mpi-io", "hdf5"],
+        "metrics": ["write"],
+    },
+}
+
+
+def cmd_table1(args) -> int:
+    rows = table1()
+    print("Table 1: amount of data read/written by the ENZO application")
+    print(
+        format_table(
+            ["problem", "read [MB]", "write [MB]"],
+            [
+                [r["problem"], f"{r['read_mb']:.1f}", f"{r['write_mb']:.1f}"]
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_figure(args) -> int:
+    spec = FIGURES[args.name]
+    dump = build_workload(args.problem)
+    init = build_initial_workload(args.problem)
+    procs = [args.procs] if args.procs else spec["procs"]
+    series_w: dict[str, dict] = {s: {} for s in spec["strategies"]}
+    series_r: dict[str, dict] = {s: {} for s in spec["strategies"]}
+    points = []
+    for nprocs in procs:
+        for name in spec["strategies"]:
+            result = run_checkpoint_experiment(
+                spec["machine"](nprocs),
+                STRATEGIES[name](),
+                dump,
+                nprocs=nprocs,
+                read_hierarchy=init,
+                do_read="read" in spec["metrics"],
+            )
+            series_w[name][f"P={nprocs}"] = result.write_time
+            if "read" in spec["metrics"]:
+                series_r[name][f"P={nprocs}"] = result.read_time
+            points.append(
+                {
+                    "figure": args.name,
+                    "problem": args.problem,
+                    "nprocs": nprocs,
+                    "strategy": name,
+                    "write_s": result.write_time,
+                    "read_s": result.read_time,
+                    "mb_written": result.bytes_written / 2**20,
+                }
+            )
+    print(render_figure(f"{spec['title']} -- WRITE ({args.problem})", series_w))
+    if "read" in spec["metrics"]:
+        print()
+        print(render_figure(f"{spec['title']} -- READ ({args.problem})", series_r))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump(points, f, indent=2)
+        print(f"\nwrote {len(points)} data points to {args.json}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .core import format_trace_report, trace_filesystem
+    from .enzo import RankState
+    from .mpi import run_spmd
+
+    machine = origin2000(nprocs=args.procs or 8)
+    hierarchy = build_workload(args.problem)
+    trace = trace_filesystem(machine.fs)
+    strategy = STRATEGIES[args.strategy]()
+
+    def program(comm):
+        state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+        strategy.write_checkpoint(comm, state, "dump")
+
+    run_spmd(machine, program, nprocs=args.procs or 8)
+    print(
+        format_trace_report(
+            trace, title=f"{strategy.name} dump of {args.problem}"
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .enzo import (
+        EnzoConfig,
+        EnzoSimulation,
+        RankState,
+        hierarchies_equivalent,
+    )
+    from .mpi import run_spmd
+
+    config = EnzoConfig(problem=args.problem, ncycles=args.cycles)
+    machine = origin2000(nprocs=args.procs or 8)
+    sim = EnzoSimulation(
+        config=config,
+        strategy=STRATEGIES[args.strategy](),
+        hierarchy=EnzoSimulation.build_initial_hierarchy(config),
+    )
+    results = run_spmd(machine, lambda c: sim.run(c, base="run"),
+                       nprocs=args.procs or 8)
+    summary = results.results[0]
+    print(f"{summary['cycles']} cycles, {summary['grids']} grids, "
+          f"dump time {summary['write_time']:.3f}s (rank 0, simulated)")
+    last = summary["dumps"][-1]
+    restart = run_spmd(machine, lambda c: sim.restart(c, last),
+                       nprocs=args.procs or 8)
+    ok = hierarchies_equivalent(RankState.collect(restart.results),
+                                sim.hierarchy)
+    print(f"restart of {last}: {'verified bit-exact' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'I/O Analysis and Optimization for an AMR "
+        "Cosmology Application' (CLUSTER 2002)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (data volumes)")
+
+    f = sub.add_parser("figure", help="run one figure's experiments")
+    f.add_argument("name", choices=sorted(FIGURES))
+    f.add_argument("--problem", default="AMR32")
+    f.add_argument("--procs", type=int, default=None,
+                   help="single processor count (default: the figure's set)")
+    f.add_argument("--json", default=None, metavar="PATH",
+                   help="also export the series as JSON for plotting")
+
+    a = sub.add_parser("analyze", help="trace a dump and print the report")
+    a.add_argument("--problem", default="AMR32")
+    a.add_argument("--procs", type=int, default=8)
+    a.add_argument("--strategy", choices=sorted(STRATEGIES), default="mpi-io")
+
+    s = sub.add_parser("simulate", help="run the full ENZO flow")
+    s.add_argument("--problem", default="AMR32")
+    s.add_argument("--procs", type=int, default=8)
+    s.add_argument("--cycles", type=int, default=2)
+    s.add_argument("--strategy", choices=sorted(STRATEGIES), default="mpi-io")
+
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "table1": cmd_table1,
+        "figure": cmd_figure,
+        "analyze": cmd_analyze,
+        "simulate": cmd_simulate,
+    }[args.command]
+    return handler(args)

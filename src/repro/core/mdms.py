@@ -1,0 +1,186 @@
+"""Meta-Data Management System (the paper's stated future work, ref [7]).
+
+"Our future work, on application level, includes using Meta-Data Management
+System (MDMS) on AMR applications to develop a powerful I/O system with the
+help of the collected metadata."
+
+The MDMS of Liao/Shen/Choudhary is a persistent database that sits beside
+the application: it stores what is known about every dataset (rank, dims,
+pattern, access order) together with observed access history, and answers
+"how should this array be accessed?" without the application hard-coding a
+strategy.  This module implements that loop over the simulated stack:
+
+* :class:`MDMS` persists an application's :class:`MetadataRegistry`,
+  per-array access statistics and the optimizer's plans **into the
+  simulated file system** (a real serialized database file, so it survives
+  across simulated runs exactly like the real MDMS's relational tables);
+* ``record_run`` folds a new I/O trace into the stored history;
+* ``advise`` returns the per-array plan, re-optimised whenever new
+  metadata arrives, plus history-derived hints (observed request sizes ->
+  suggested collective-buffer and sieving sizes).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+from ..pfs.base import FileSystem
+from .access_pattern import PatternClass
+from .metadata import ArrayMetadata, MetadataRegistry
+from .optimizer import IOPlan, Optimizer
+from .trace import IOTrace
+
+__all__ = ["MDMS", "AccessHistory"]
+
+
+@dataclass
+class AccessHistory:
+    """Aggregated observations for one application's I/O."""
+
+    runs: int = 0
+    total_read_requests: int = 0
+    total_write_requests: int = 0
+    total_bytes_read: int = 0
+    total_bytes_written: int = 0
+    median_write_size: int = 0
+    median_read_size: int = 0
+    sequential_write_fraction: float = 0.0
+
+    def fold(self, trace: IOTrace) -> None:
+        """Merge one run's trace into the history."""
+        self.runs += 1
+        reads = trace.request_sizes("read")
+        writes = trace.request_sizes("write")
+        self.total_read_requests += len(reads)
+        self.total_write_requests += len(writes)
+        self.total_bytes_read += int(reads.sum()) if len(reads) else 0
+        self.total_bytes_written += int(writes.sum()) if len(writes) else 0
+        if len(writes):
+            self.median_write_size = int(sorted(writes)[len(writes) // 2])
+        if len(reads):
+            self.median_read_size = int(sorted(reads)[len(reads) // 2])
+        self.sequential_write_fraction = trace.sequential_fraction("write")
+
+
+class MDMS:
+    """A persistent metadata service over a (simulated) file system."""
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, fs: FileSystem, db_path: str = ".mdms.db"):
+        self.fs = fs
+        self.db_path = db_path
+        self._apps: dict[str, dict] = {}
+        if fs.exists(db_path):
+            self._load()
+
+    # -- registration -----------------------------------------------------
+
+    def register_application(
+        self, app: str, registry: MetadataRegistry, *, stripe_size: int | None = None
+    ) -> IOPlan:
+        """Store (or refresh) an application's metadata; returns its plan."""
+        entry = self._apps.setdefault(
+            app, {"registry": None, "history": AccessHistory(), "stripe": None}
+        )
+        entry["registry"] = registry
+        if stripe_size is not None:
+            entry["stripe"] = stripe_size
+        plan = Optimizer(stripe_size=entry["stripe"]).plan(registry)
+        entry["plan"] = plan
+        self._persist()
+        return plan
+
+    def record_run(self, app: str, trace: IOTrace) -> None:
+        """Fold one run's observed I/O into the application's history."""
+        entry = self._require(app)
+        entry["history"].fold(trace)
+        self._persist()
+
+    # -- queries ----------------------------------------------------------------
+
+    def applications(self) -> list[str]:
+        return sorted(self._apps)
+
+    def registry(self, app: str) -> MetadataRegistry:
+        return self._require(app)["registry"]
+
+    def history(self, app: str) -> AccessHistory:
+        return self._require(app)["history"]
+
+    def advise(self, app: str, grid_key=None, array_name: str | None = None):
+        """The stored plan -- whole, or for one array."""
+        plan: IOPlan = self._require(app)["plan"]
+        if array_name is None:
+            return plan
+        md = self.registry(app).lookup(grid_key, array_name)
+        return plan.plan_for(md.name)
+
+    def suggest_hints(self, app: str) -> dict:
+        """History-driven hint values (the 'powerful I/O system' loop).
+
+        Collective buffers want to hold many observed requests; sieving
+        buffers want to be an order of magnitude above the median request.
+        """
+        h = self._require(app)["history"]
+        out: dict = {}
+        if h.median_write_size:
+            out["cb_buffer_size"] = max(1 << 20, 64 * h.median_write_size)
+        if h.median_read_size:
+            out["ind_rd_buffer_size"] = max(1 << 20, 32 * h.median_read_size)
+        if h.sequential_write_fraction < 0.5 and h.total_write_requests:
+            out["ds_write"] = True  # mostly non-sequential: sieve writes
+        stripe = self._require(app)["stripe"]
+        if stripe:
+            out["cb_align"] = stripe
+        return out
+
+    # -- persistence (a real file in the simulated FS) --------------------------
+
+    def _require(self, app: str) -> dict:
+        try:
+            return self._apps[app]
+        except KeyError:
+            raise KeyError(f"unknown application {app!r}") from None
+
+    def _persist(self) -> None:
+        payload = {"version": self.SCHEMA_VERSION, "apps": {}}
+        for app, entry in self._apps.items():
+            reg = entry["registry"]
+            payload["apps"][app] = {
+                "stripe": entry["stripe"],
+                "history": entry["history"],
+                "arrays": [
+                    (key, md.dims, md.dtype, md.pattern.value)
+                    for key, md in reg.items()
+                ]
+                if reg is not None
+                else [],
+            }
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if not self.fs.exists(self.db_path):
+            self.fs.create(self.db_path)
+        self.fs.write(self.db_path, 0, blob)
+
+    def _load(self) -> None:
+        size = self.fs.file_size(self.db_path)
+        blob, _ = self.fs.read(self.db_path, 0, size)
+        payload = pickle.loads(blob)
+        if payload.get("version") != self.SCHEMA_VERSION:
+            raise ValueError(
+                f"MDMS schema version {payload.get('version')} unsupported"
+            )
+        for app, stored in payload["apps"].items():
+            registry = MetadataRegistry()
+            for (grid_key, name), dims, dtype, pattern in stored["arrays"]:
+                registry.register(
+                    grid_key, name, dims, dtype, PatternClass(pattern)
+                )
+            plan = Optimizer(stripe_size=stored["stripe"]).plan(registry)
+            self._apps[app] = {
+                "registry": registry,
+                "history": stored["history"],
+                "stripe": stored["stripe"],
+                "plan": plan,
+            }

@@ -1,0 +1,106 @@
+"""The application-metadata registry (paper Sections 3.1-3.2).
+
+"When analyzing the I/O characteristics of the ENZO simulation, several
+useful metadata are discovered: the rank and dimensions of data arrays, the
+access patterns of arrays, and the data access order.  With the help of
+these metadata, the proper optimal I/O strategies can be determined."
+
+:class:`ArrayMetadata` records exactly those facts for one array;
+:class:`MetadataRegistry` holds them per (grid, array) and preserves the
+fixed access order.  The :mod:`repro.core.optimizer` consumes this registry
+to emit an I/O plan; the MDMS of ref [7] is the same idea as a service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .access_pattern import PatternClass
+
+__all__ = ["ArrayMetadata", "MetadataRegistry"]
+
+
+@dataclass(frozen=True)
+class ArrayMetadata:
+    """What the optimizer needs to know about one distributed array."""
+
+    name: str
+    rank: int
+    dims: tuple[int, ...]
+    dtype: str
+    pattern: PatternClass
+    #: position in the fixed per-grid access order
+    order_index: int
+
+    def __post_init__(self) -> None:
+        if self.rank != len(self.dims):
+            raise ValueError(f"rank {self.rank} != len(dims {self.dims})")
+        np.dtype(self.dtype)  # validates
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.dims)) * np.dtype(self.dtype).itemsize
+
+
+class MetadataRegistry:
+    """Ordered collection of array metadata, grouped by grid key."""
+
+    def __init__(self) -> None:
+        self._arrays: dict[tuple, ArrayMetadata] = {}
+        self._order: list[tuple] = []
+
+    def register(
+        self,
+        grid_key,
+        name: str,
+        dims: tuple[int, ...],
+        dtype,
+        pattern: PatternClass,
+    ) -> ArrayMetadata:
+        """Record one array; registration order defines access order."""
+        key = (grid_key, name)
+        if key in self._arrays:
+            raise ValueError(f"array {key} already registered")
+        md = ArrayMetadata(
+            name=name,
+            rank=len(dims),
+            dims=tuple(int(d) for d in dims),
+            dtype=np.dtype(dtype).name,
+            pattern=pattern,
+            order_index=len(self._order),
+        )
+        self._arrays[key] = md
+        self._order.append(key)
+        return md
+
+    def lookup(self, grid_key, name: str) -> ArrayMetadata:
+        return self._arrays[(grid_key, name)]
+
+    def arrays(self, grid_key=None) -> list[ArrayMetadata]:
+        """All arrays in access order, optionally for one grid."""
+        keys = self._order if grid_key is None else [
+            k for k in self._order if k[0] == grid_key
+        ]
+        return [self._arrays[k] for k in keys]
+
+    def items(self) -> list:
+        """(key, metadata) pairs in access order; key is (grid_key, name)."""
+        return [(k, self._arrays[k]) for k in self._order]
+
+    def grid_keys(self) -> list:
+        seen: list = []
+        for g, _ in self._order:
+            if g not in seen:
+                seen.append(g)
+        return seen
+
+    def total_nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __contains__(self, key) -> bool:
+        return tuple(key) in self._arrays

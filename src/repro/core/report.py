@@ -1,0 +1,64 @@
+"""Human-readable I/O analysis reports (Pablo-style, ref [20]).
+
+Turns an :class:`~repro.core.trace.IOTrace` into the kind of summary the
+paper's analysis section is built from: volumes, request-size histograms,
+sequentiality, bandwidth, and per-node skew.
+"""
+
+from __future__ import annotations
+
+from .trace import IOTrace
+
+__all__ = ["format_trace_report", "format_table"]
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(row):
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in cells)
+    return "\n".join(lines)
+
+
+def _mb(nbytes: float) -> str:
+    return f"{nbytes / 2**20:.2f} MB"
+
+
+def format_trace_report(trace: IOTrace, title: str = "I/O activity") -> str:
+    """The full analysis report for one traced run."""
+    lines = [title, "=" * len(title)]
+    for op in ("read", "write"):
+        events = trace.ops(op)
+        lines.append(f"\n{op.upper()}: {len(events)} requests")
+        if not events:
+            continue
+        sizes = trace.request_sizes(op)
+        lines.append(f"  volume          : {_mb(trace.total_bytes(op))}")
+        lines.append(
+            f"  request size    : min {sizes.min()} B / "
+            f"median {int(sorted(sizes)[len(sizes) // 2])} B / max {sizes.max()} B"
+        )
+        lines.append(
+            f"  sequential frac : {trace.sequential_fraction(op):.2f}"
+        )
+        bw = trace.bandwidth(op)
+        lines.append(f"  bandwidth       : {_mb(bw)}/s over {trace.elapsed(op):.3f} s")
+        lines.append("  size histogram  :")
+        for bucket, count in trace.size_histogram(op).items():
+            if count:
+                lines.append(f"    {bucket:>9}: {count}")
+        per_node = trace.per_node_bytes(op)
+        if len(per_node) > 1:
+            top = max(per_node.values())
+            mean = sum(per_node.values()) / len(per_node)
+            lines.append(
+                f"  node skew       : max/mean = {top / mean:.2f} "
+                f"over {len(per_node)} nodes"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""I/O tracing and request statistics (Pablo-style, ref [20]).
+
+The paper's analysis started from traces of the ENZO code's I/O activity.
+:class:`IOTrace` records every file-system request of a simulated run --
+operation, offset, size, issue/finish virtual times, rank -- and computes
+the aggregate statistics the analysis rests on: request-size distribution,
+sequential fraction, per-rank skew, and achieved bandwidth.
+
+Attach with :func:`trace_filesystem` (wraps a FileSystem's timing hooks),
+or record manually.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+__all__ = ["IOEvent", "IOTrace", "trace_filesystem"]
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One traced request."""
+
+    op: str  # "read" | "write" | "meta"
+    path: str
+    offset: int
+    nbytes: int
+    start: float
+    end: float
+    node: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class IOTrace:
+    """An append-only request log with derived statistics."""
+
+    events: list = field(default_factory=list)
+
+    def record(self, **kw) -> None:
+        self.events.append(IOEvent(**kw))
+
+    # -- selections ---------------------------------------------------------
+
+    def ops(self, op: str) -> list:
+        return [e for e in self.events if e.op == op]
+
+    # -- statistics -----------------------------------------------------------
+
+    def request_sizes(self, op: str) -> np.ndarray:
+        return np.array([e.nbytes for e in self.ops(op)], dtype=np.int64)
+
+    def total_bytes(self, op: str) -> int:
+        return int(self.request_sizes(op).sum()) if self.ops(op) else 0
+
+    def sequential_fraction(self, op: str) -> float:
+        """Fraction of requests starting where the previous one (per file)
+        ended -- the metric that exposes small-strided access patterns."""
+        events = self.ops(op)
+        if not events:
+            return 0.0
+        last_end: dict[str, int] = {}
+        sequential = 0
+        for e in events:
+            if last_end.get(e.path) == e.offset:
+                sequential += 1
+            last_end[e.path] = e.offset + e.nbytes
+        return sequential / len(events)
+
+    def size_histogram(self, op: str, edges=None) -> dict[str, int]:
+        """Requests bucketed by size decade."""
+        if edges is None:
+            edges = [0, 1 << 10, 1 << 14, 1 << 17, 1 << 20, 1 << 62]
+            labels = ["<1K", "1K-16K", "16K-128K", "128K-1M", ">=1M"]
+        else:
+            labels = [f"[{a},{b})" for a, b in zip(edges, edges[1:])]
+        sizes = self.request_sizes(op)
+        counts, _ = np.histogram(sizes, bins=edges)
+        return dict(zip(labels, counts.tolist()))
+
+    def elapsed(self, op: str | None = None) -> float:
+        events = self.events if op is None else self.ops(op)
+        if not events:
+            return 0.0
+        return max(e.end for e in events) - min(e.start for e in events)
+
+    def bandwidth(self, op: str) -> float:
+        """Aggregate achieved bytes/second over the op's active interval."""
+        t = self.elapsed(op)
+        return self.total_bytes(op) / t if t > 0 else 0.0
+
+    def per_node_bytes(self, op: str) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for e in self.ops(op):
+            out[e.node] = out.get(e.node, 0) + e.nbytes
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Export as JSON (one event object per entry, Pablo-SDDF-like)."""
+        return json.dumps([asdict(e) for e in self.events])
+
+    @classmethod
+    def from_json(cls, raw: str) -> "IOTrace":
+        trace = cls()
+        for entry in json.loads(raw):
+            trace.record(**entry)
+        return trace
+
+    def save(self, path) -> None:
+        """Write the JSON export to a real (host) file."""
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "IOTrace":
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+
+def trace_filesystem(fs) -> IOTrace:
+    """Instrument a FileSystem in place; returns the live trace.
+
+    Wraps the private timing hooks so every read/write lands in the trace
+    with its virtual start/finish times.
+    """
+    trace = IOTrace()
+    orig_read, orig_write = fs._service_read, fs._service_write
+
+    def traced_read(path, offset, nbytes, node, ready_time):
+        done = orig_read(path, offset, nbytes, node, ready_time)
+        trace.record(
+            op="read", path=path, offset=offset, nbytes=nbytes,
+            start=ready_time, end=done, node=node,
+        )
+        return done
+
+    def traced_write(path, offset, nbytes, node, ready_time):
+        done = orig_write(path, offset, nbytes, node, ready_time)
+        trace.record(
+            op="write", path=path, offset=offset, nbytes=nbytes,
+            start=ready_time, end=done, node=node,
+        )
+        return done
+
+    fs._service_read = traced_read
+    fs._service_write = traced_write
+    return trace

@@ -1,0 +1,131 @@
+"""I/O strategy interface and shared helpers.
+
+A strategy implements the two timed operations of the study:
+
+* :meth:`write_checkpoint` -- the per-cycle data dump (paper's "Write");
+* :meth:`read_checkpoint` -- the restart / new-simulation read ("Read").
+
+All strategies write the same logical content (every grid's baryon fields
+and particle arrays, plus the replicated hierarchy metadata in a
+``<base>.hierarchy`` sidecar), so checkpoints are comparable bit-for-bit
+across strategies and processor counts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from ..amr.grid import Grid
+from ..mpi import collectives as coll
+from ..mpi.comm import Comm
+from ..mpiio.adio import ADIOFile
+from ..pfs.base import FileSystem
+from .meta import HierarchyMeta
+from .state import RankState
+
+__all__ = ["IOStrategy", "IOStats", "hierarchy_path"]
+
+
+def hierarchy_path(base: str) -> str:
+    return f"{base}.hierarchy"
+
+
+@dataclass
+class IOStats:
+    """Phase timing and volume breakdown of one strategy operation."""
+
+    strategy: str = ""
+    operation: str = ""  # "write" or "read"
+    elapsed: float = 0.0
+    phases: dict = dc_field(default_factory=dict)  # phase -> seconds (max over ranks)
+    bytes_moved: int = 0
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+
+class IOStrategy(ABC):
+    """Base class for the three checkpoint I/O implementations."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def write_checkpoint(
+        self, comm: Comm, state: RankState, base: str
+    ) -> IOStats:
+        """Dump the full distributed state to ``base`` (collective)."""
+
+    @abstractmethod
+    def read_checkpoint(self, comm: Comm, base: str) -> tuple[RankState, IOStats]:
+        """Read a checkpoint into a fresh per-rank state (collective)."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _fs(self, comm: Comm) -> FileSystem:
+        fs = comm.machine.fs
+        if fs is None:
+            raise ValueError("no file system attached to the machine")
+        return fs
+
+    def write_meta_sidecar(self, comm: Comm, base: str, meta: HierarchyMeta) -> None:
+        """Rank 0 writes the hierarchy sidecar; everyone synchronises."""
+        if comm.rank == 0:
+            fs = self._fs(comm)
+            path = hierarchy_path(base)
+            proc = comm.proc
+            proc.schedule_point()
+            done = fs.create(
+                path,
+                node=comm.machine.node_of(comm.group[0]),
+                ready_time=proc.clock,
+            )
+            proc.advance_to(done)
+            adio = ADIOFile(fs, path, comm)
+            adio.write_contig(0, meta.to_bytes())
+        coll.barrier(comm)
+
+    def read_meta_sidecar(self, comm: Comm, base: str) -> HierarchyMeta:
+        """Rank 0 reads the sidecar and broadcasts it."""
+        blob = None
+        if comm.rank == 0:
+            fs = self._fs(comm)
+            path = hierarchy_path(base)
+            proc = comm.proc
+            proc.schedule_point()
+            done = fs.open(
+                path,
+                node=comm.machine.node_of(comm.group[0]),
+                ready_time=proc.clock,
+            )
+            proc.advance_to(done)
+            adio = ADIOFile(fs, path, comm)
+            blob = adio.read_contig(0, adio.size())
+        blob = coll.bcast(comm, blob, root=0)
+        return HierarchyMeta.from_bytes(blob)
+
+    @staticmethod
+    def make_subgrid_shell(meta, gid) -> Grid:
+        """An empty grid with the geometry the metadata records."""
+        g = meta[gid]
+        return Grid(
+            id=g.id,
+            level=g.level,
+            dims=g.dims,
+            left_edge=np.array(g.left_edge),
+            right_edge=np.array(g.right_edge),
+            parent_id=g.parent_id,
+        )
+
+    @staticmethod
+    def make_root_shell(meta) -> Grid:
+        g = meta.root
+        return Grid(
+            id=g.id,
+            level=g.level,
+            dims=g.dims,
+            left_edge=np.array(g.left_edge),
+            right_edge=np.array(g.right_edge),
+        )

@@ -1,0 +1,6 @@
+"""Sequential HDF4-like Scientific Data Set library (the original ENZO I/O)."""
+
+from .format import DDEntry
+from .sd import SDS, SD_CALL_OVERHEAD, SDFile
+
+__all__ = ["SDFile", "SDS", "DDEntry", "SD_CALL_OVERHEAD"]

@@ -1,0 +1,20 @@
+"""Parallel HDF5-like library over the MPI-IO layer.
+
+Reproduces the official-release-2002 behaviours the paper measured:
+collective dataset create/close synchronisation, metadata/data interleaving,
+recursive hyperslab packing cost, rank-0-only attribute writes.
+"""
+
+from .dataspace import Dataspace, Hyperslab
+from .file import H5Costs, H5Dataset, H5File
+from .format import HEADER_CAPACITY, ObjectHeader
+
+__all__ = [
+    "H5File",
+    "H5Dataset",
+    "H5Costs",
+    "Dataspace",
+    "Hyperslab",
+    "ObjectHeader",
+    "HEADER_CAPACITY",
+]

@@ -1,0 +1,97 @@
+"""Message-passing library (MPI-like) over the simulation engine.
+
+The API follows mpi4py's lowercase, pickle-friendly methods plus standalone
+collective functions.  Use :func:`run_spmd` to execute an SPMD function::
+
+    from repro.mpi import run_spmd, collectives as coll
+
+    def program(comm):
+        data = comm.rank * 10
+        return coll.allreduce(comm, data)
+
+    result = run_spmd(machine, program)
+"""
+
+from . import collectives, datatypes
+from .collectives import (
+    MAX,
+    MIN,
+    SUM,
+    allgather,
+    allreduce,
+    alltoall,
+    alltoallv,
+    barrier,
+    bcast,
+    exscan,
+    gather,
+    gatherv,
+    reduce,
+    scatter,
+    scatterv,
+)
+from .comm import ANY_SOURCE, ANY_TAG, Comm, Message, MpiWorld, payload_nbytes
+from .datatypes import (
+    BYTE,
+    CHAR,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    Contiguous,
+    Datatype,
+    Indexed,
+    Named,
+    Subarray,
+    Vector,
+    from_numpy,
+    merge_segments,
+)
+from .request import Request, irecv, isend, waitall
+from .runner import SpmdResult, run_spmd
+
+__all__ = [
+    "Comm",
+    "Message",
+    "MpiWorld",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "payload_nbytes",
+    "run_spmd",
+    "SpmdResult",
+    "Request",
+    "isend",
+    "irecv",
+    "waitall",
+    "collectives",
+    "datatypes",
+    "barrier",
+    "bcast",
+    "gather",
+    "gatherv",
+    "scatter",
+    "scatterv",
+    "allgather",
+    "alltoall",
+    "alltoallv",
+    "reduce",
+    "allreduce",
+    "exscan",
+    "SUM",
+    "MAX",
+    "MIN",
+    "Datatype",
+    "Named",
+    "Contiguous",
+    "Vector",
+    "Indexed",
+    "Subarray",
+    "from_numpy",
+    "merge_segments",
+    "BYTE",
+    "CHAR",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+]

@@ -1,0 +1,250 @@
+"""Collective operations over point-to-point messaging.
+
+Algorithms follow the classic MPICH choices of the paper's era: binomial
+trees for bcast/reduce/gather/scatter, a dissemination barrier, ring
+allgather, and pairwise-exchange alltoall.  All of them are implemented on
+``Comm.send``/``Comm.recv`` so their cost falls out of the interconnect
+model rather than being asserted.
+
+Every function is collective: all ranks of the communicator must call it in
+the same order (this is also how the internal tag agreement works).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from .comm import Comm
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "gather",
+    "gatherv",
+    "scatter",
+    "scatterv",
+    "allgather",
+    "alltoall",
+    "alltoallv",
+    "reduce",
+    "allreduce",
+    "exscan",
+    "SUM",
+    "MAX",
+    "MIN",
+]
+
+
+def SUM(a, b):
+    """Elementwise / scalar sum reduction operator."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.add(a, b)
+    return a + b
+
+
+def MAX(a, b):
+    """Elementwise / scalar max reduction operator."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def MIN(a, b):
+    """Elementwise / scalar min reduction operator."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    return (rank - root) % size
+
+
+def _rrank(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def barrier(comm: Comm) -> None:
+    """Dissemination barrier: ceil(log2 P) rounds of pairwise messages."""
+    tag = comm._next_internal_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    step = 1
+    while step < size:
+        dest = (rank + step) % size
+        src = (rank - step) % size
+        comm._post(None, dest, tag)
+        comm.recv(src, tag)
+        step <<= 1
+
+
+def bcast(comm: Comm, obj: Any, root: int = 0) -> Any:
+    """Binomial-tree broadcast; returns the object on every rank."""
+    tag = comm._next_internal_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    v = _vrank(rank, root, size)
+    # Phase 1: everyone but the root receives from the rank that differs in
+    # v's lowest set bit.
+    mask = 1
+    while mask < size:
+        if v & mask:
+            obj = comm.recv(_rrank(v - mask, root, size), tag)
+            break
+        mask <<= 1
+    # Phase 2: forward down the tree with decreasing mask.
+    mask >>= 1
+    while mask > 0:
+        if v + mask < size:
+            comm._post(obj, _rrank(v + mask, root, size), tag)
+        mask >>= 1
+    return obj
+
+
+def gather(comm: Comm, obj: Any, root: int = 0) -> Optional[list]:
+    """Binomial-tree gather; root returns the list indexed by rank."""
+    tag = comm._next_internal_tag()
+    size, rank = comm.size, comm.rank
+    v = _vrank(rank, root, size)
+    # Accumulate (rank, obj) pairs up the tree.
+    acc = [(rank, obj)]
+    mask = 1
+    while mask < size:
+        if v & mask:
+            comm._post(acc, _rrank(v & ~mask, root, size), tag)
+            acc = None
+            break
+        src_v = v | mask
+        if src_v < size:
+            acc.extend(comm.recv(_rrank(src_v, root, size), tag))
+        mask <<= 1
+    if rank == root:
+        out: list = [None] * size
+        for r, o in acc:
+            out[r] = o
+        return out
+    return None
+
+
+def gatherv(comm: Comm, obj: Any, root: int = 0) -> Optional[list]:
+    """Alias of :func:`gather` (payloads may differ in size)."""
+    return gather(comm, obj, root)
+
+
+def scatter(comm: Comm, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+    """Binomial-tree scatter of ``objs`` (length ``size``, root only)."""
+    tag = comm._next_internal_tag()
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if objs is None or len(objs) != size:
+            raise ValueError("root must supply one object per rank")
+        bundle = {r: objs[r] for r in range(size)}
+    else:
+        bundle = None
+    v = _vrank(rank, root, size)
+    mask = 1
+    while mask < size:
+        if v & mask:
+            bundle = comm.recv(_rrank(v - mask, root, size), tag)
+            break
+        mask <<= 1
+    # Forward: child at v+mask owns virtual ranks [v+mask, v+2*mask).
+    mask >>= 1
+    while mask > 0:
+        if v + mask < size:
+            lo, hi = v + mask, min(v + (mask << 1), size)
+            sub = {}
+            for x in range(lo, hi):
+                r = _rrank(x, root, size)
+                if r in bundle:
+                    sub[r] = bundle.pop(r)
+            comm._post(sub, _rrank(lo, root, size), tag)
+        mask >>= 1
+    return bundle[rank]
+
+
+def scatterv(comm: Comm, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+    """Alias of :func:`scatter` (payloads may differ in size)."""
+    return scatter(comm, objs, root)
+
+
+def allgather(comm: Comm, obj: Any) -> list:
+    """Ring allgather; every rank returns the list indexed by rank."""
+    tag = comm._next_internal_tag()
+    size, rank = comm.size, comm.rank
+    out: list = [None] * size
+    out[rank] = obj
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry = (rank, obj)
+    for _ in range(size - 1):
+        comm._post(carry, right, tag)
+        carry = comm.recv(left, tag)
+        out[carry[0]] = carry[1]
+    return out
+
+
+def alltoall(comm: Comm, objs: Sequence[Any]) -> list:
+    """Pairwise-exchange alltoall: ``objs[d]`` goes to rank ``d``."""
+    size, rank = comm.size, comm.rank
+    if len(objs) != size:
+        raise ValueError("alltoall needs one object per rank")
+    tag = comm._next_internal_tag()
+    out: list = [None] * size
+    out[rank] = objs[rank]
+    for step in range(1, size):
+        dest = (rank + step) % size
+        src = (rank - step) % size
+        comm._post(objs[dest], dest, tag)
+        out[src] = comm.recv(src, tag)
+    return out
+
+
+def alltoallv(comm: Comm, objs: Sequence[Any]) -> list:
+    """Alias of :func:`alltoall` (payloads may differ in size)."""
+    return alltoall(comm, objs)
+
+
+def reduce(
+    comm: Comm, obj: Any, op: Callable[[Any, Any], Any] = SUM, root: int = 0
+) -> Any:
+    """Binomial-tree reduction to ``root`` (returns None elsewhere)."""
+    tag = comm._next_internal_tag()
+    size, rank = comm.size, comm.rank
+    v = _vrank(rank, root, size)
+    acc = obj
+    mask = 1
+    while mask < size:
+        if v & mask:
+            comm._post(acc, _rrank(v & ~mask, root, size), tag)
+            return None
+        src_v = v | mask
+        if src_v < size:
+            acc = op(acc, comm.recv(_rrank(src_v, root, size), tag))
+        mask <<= 1
+    return acc
+
+
+def allreduce(comm: Comm, obj: Any, op: Callable[[Any, Any], Any] = SUM) -> Any:
+    """Reduce to rank 0, then broadcast the result."""
+    return bcast(comm, reduce(comm, obj, op, root=0), root=0)
+
+
+def exscan(comm: Comm, value, op: Callable = SUM):
+    """Exclusive prefix scan.
+
+    Rank ``r`` returns ``op(values[0], ..., values[r-1])``; rank 0 returns
+    ``0`` for :func:`SUM` and ``None`` for other operators.  Implemented via
+    allgather for clarity -- the payloads the I/O layers scan are scalars.
+    """
+    values = allgather(comm, value)
+    if op is SUM:
+        return sum(values[: comm.rank])
+    acc = None
+    for v in values[: comm.rank]:
+        acc = v if acc is None else op(acc, v)
+    return acc

@@ -1,0 +1,271 @@
+"""Communicators and point-to-point messaging.
+
+The programming model mirrors mpi4py: an SPMD function receives a
+:class:`Comm` whose ``rank``/``size`` identify it, and calls ``send`` /
+``recv`` / the collectives in :mod:`repro.mpi.collectives`.  Under the hood
+each rank is a :class:`repro.sim.Proc`; message timing comes from the
+machine's interconnect model (NIC contention, latency) and message *data* is
+physically copied, so communication bugs corrupt data and get caught by
+tests rather than hiding behind a pure cost model.
+
+Sends are eager: the sender charges a software overhead and its NIC egress
+occupancy, then proceeds; the receiver blocks until the message's arrival
+time.  This matches what ROMIO-era MPI implementations did for the message
+sizes two-phase I/O produces, and it keeps the simulation deadlock-behaviour
+simple (a recv with no matching send ever posted deadlocks, as in MPI).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..sim.engine import Engine, Proc
+from ..topology.machine import Machine
+
+__all__ = ["Comm", "Message", "ANY_SOURCE", "ANY_TAG", "payload_nbytes", "MpiWorld"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+# Communicator-internal tags (collectives, MPI-IO) live above this base so
+# they never collide with user tags.
+_INTERNAL_TAG_BASE = 1 << 20
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size of a message payload.
+
+    numpy arrays and byte strings travel at their buffer size; any other
+    Python object is costed at its pickle size (as mpi4py does for
+    lowercase-method communication).
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _snapshot(obj: Any) -> Any:
+    """Copy a payload so sender-side mutation cannot alias the message."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (bytearray, memoryview)):
+        return bytes(obj)
+    if isinstance(obj, (bytes, int, float, str, bool, type(None))):
+        return obj
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+@dataclass
+class Message:
+    """An in-flight or queued message."""
+
+    src: int
+    tag: int
+    payload: Any
+    arrival: float
+    seq: int
+
+
+@dataclass
+class MpiWorld:
+    """Shared state for one MPI 'job': mailboxes and the machine binding."""
+
+    engine: Engine
+    machine: Machine
+    mailboxes: list[list[Message]] = field(default_factory=list)
+    _seq: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.mailboxes:
+            self.mailboxes = [[] for _ in range(self.engine.nprocs)]
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+
+class Comm:
+    """An MPI communicator bound to one rank (mpi4py-style handle).
+
+    Every rank holds its own ``Comm`` instance; instances of the same
+    communicator share a :class:`MpiWorld` and a group of engine ranks.
+    """
+
+    def __init__(
+        self,
+        world: MpiWorld,
+        proc: Proc,
+        group: Optional[list[int]] = None,
+        _ctx: int = 0,
+    ):
+        self.world = world
+        self.proc = proc
+        # group maps communicator rank -> engine (world) rank.
+        self.group = group if group is not None else list(range(world.engine.nprocs))
+        self._world_to_local = {w: l for l, w in enumerate(self.group)}
+        if proc.rank not in self._world_to_local:
+            raise ValueError(f"engine rank {proc.rank} is not in this communicator")
+        # Context id separates traffic of different communicators.
+        self._ctx = _ctx
+        # Deterministic internal tag sequence; identical across ranks because
+        # collectives must be called in the same order on every rank.
+        self._coll_seq = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._world_to_local[self.proc.rank]
+
+    @property
+    def size(self) -> int:
+        """Number of processes in the communicator."""
+        return len(self.group)
+
+    @property
+    def machine(self) -> Machine:
+        return self.world.machine
+
+    @property
+    def clock(self) -> float:
+        """This rank's virtual clock (seconds)."""
+        return self.proc.clock
+
+    # -- timing helpers ------------------------------------------------------
+
+    def compute(self, seconds: float) -> None:
+        """Charge local compute time."""
+        self.proc.advance(seconds)
+
+    def _sw_overhead(self) -> float:
+        # Software send/recv overhead, tied to the interconnect class.
+        return self.world.machine.network.latency
+
+    # -- point-to-point --------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking (eager) send of ``obj`` to communicator rank ``dest``."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range for size {self.size}")
+        if tag < 0:
+            raise ValueError("tag must be >= 0 on send")
+        self._post(obj, dest, tag)
+
+    def _post(self, obj: Any, dest: int, tag: int) -> None:
+        proc = self.proc
+        world = self.world
+        dest_world = self.group[dest]
+        nbytes = payload_nbytes(obj)
+        proc.schedule_point()
+        net = world.machine.network
+        src_node = world.machine.node_of(proc.rank)
+        dst_node = world.machine.node_of(dest_world)
+        arrival = net.transfer(proc.clock, src_node, dst_node, nbytes)
+        msg = Message(
+            src=self.rank,
+            tag=tag + self._ctx,
+            payload=_snapshot(obj),
+            arrival=arrival,
+            seq=world.next_seq(),
+        )
+        world.mailboxes[dest_world].append(msg)
+        proc.advance(self._sw_overhead())
+        target = world.engine.procs[dest_world]
+        target.wake()
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload."""
+        obj, _status = self.recv_with_status(source, tag)
+        return obj
+
+    def recv_with_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, tuple[int, int]]:
+        """Receive and also return ``(source_rank, tag)`` of the message."""
+        proc = self.proc
+        box = self.world.mailboxes[proc.rank]
+        while True:
+            proc.schedule_point()
+            match = self._match(box, source, tag)
+            if match is not None:
+                box.remove(match)
+                proc.advance_to(match.arrival)
+                proc.advance(self._sw_overhead())
+                return match.payload, (match.src, match.tag - self._ctx)
+            proc.block()
+
+    def _match(
+        self, box: list[Message], source: int, tag: int
+    ) -> Optional[Message]:
+        want_tag = None if tag == ANY_TAG else tag + self._ctx
+        lo, hi = self._ctx, self._ctx + _INTERNAL_TAG_BASE
+        best: Optional[Message] = None
+        for m in box:
+            if not (lo <= m.tag < hi):
+                continue  # different communicator context
+            if source != ANY_SOURCE and m.src != source:
+                continue
+            if want_tag is not None and m.tag != want_tag:
+                continue
+            if best is None or m.seq < best.seq:
+                best = m
+        return best
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+    ) -> Any:
+        """Combined send+receive (deadlock-free pairwise exchange)."""
+        self._post(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # -- communicator management -----------------------------------------------
+
+    def split(self, color: int, key: int = 0) -> Optional["Comm"]:
+        """Create sub-communicators by color, ordered by (key, rank).
+
+        Collective over the parent communicator.  Ranks passing
+        ``color=None`` get ``None`` back (like ``MPI_UNDEFINED``).
+        """
+        from .collectives import allgather
+
+        entries = allgather(self, (color, key, self.rank))
+        if color is None:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in entries if c == color
+        )
+        group = [self.group[r] for _, r in members]
+        # Derive a fresh context deterministically from parent ctx and color.
+        ctx = self._ctx + _INTERNAL_TAG_BASE * (2 + color)
+        return Comm(self.world, self.proc, group=group, _ctx=ctx)
+
+    def dup(self) -> "Comm":
+        """Duplicate the communicator with a fresh context."""
+        from .collectives import allgather
+
+        allgather(self, 0)  # synchronising, like MPI_Comm_dup
+        dup = Comm(self.world, self.proc, group=list(self.group), _ctx=self._ctx)
+        dup._ctx = self._ctx + _INTERNAL_TAG_BASE
+        return dup
+
+    # -- internal tags for collectives / MPI-IO -----------------------------------
+
+    def _next_internal_tag(self) -> int:
+        """A tag all ranks agree on for the current collective call."""
+        self._coll_seq += 1
+        return _INTERNAL_TAG_BASE - 1 - (self._coll_seq % (1 << 16))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Comm rank={self.rank}/{self.size} t={self.clock:.6f}>"

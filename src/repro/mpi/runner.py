@@ -1,0 +1,66 @@
+"""Entry point for running SPMD programs: machine + engine + communicator.
+
+:func:`run_spmd` is the moral equivalent of ``mpiexec -n P python prog.py``:
+it builds an engine with one virtual rank per processor of the machine,
+hands each rank a :class:`~repro.mpi.comm.Comm`, runs the program, and
+returns the per-rank results together with the simulated wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..sim.engine import Engine
+from ..topology.machine import Machine
+from .comm import Comm, MpiWorld
+
+__all__ = ["run_spmd", "SpmdResult"]
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD run."""
+
+    results: list  # per-rank return values
+    elapsed: float  # simulated makespan (max over rank clocks)
+    rank_times: list  # per-rank final clocks
+    engine: Engine
+
+    def __iter__(self):  # allows: results, elapsed = run_spmd(...)
+        yield self.results
+        yield self.elapsed
+
+
+def run_spmd(
+    machine: Machine,
+    fn: Callable[..., Any],
+    *,
+    nprocs: int | None = None,
+    args: Sequence[Any] = (),
+    kwargs: dict | None = None,
+) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks of ``machine``.
+
+    ``nprocs`` defaults to the machine's processor count and may not exceed
+    it.  Returns an :class:`SpmdResult`.
+    """
+    nprocs = machine.nprocs if nprocs is None else nprocs
+    if not 1 <= nprocs <= machine.nprocs:
+        raise ValueError(
+            f"nprocs={nprocs} outside [1, {machine.nprocs}] for {machine.name}"
+        )
+    engine = Engine(nprocs)
+    world = MpiWorld(engine=engine, machine=machine)
+
+    def main(proc, *a, **kw):
+        comm = Comm(world, proc)
+        return fn(comm, *a, **kw)
+
+    results = engine.run(main, args=args, kwargs=kwargs or {})
+    return SpmdResult(
+        results=results,
+        elapsed=engine.max_clock,
+        rank_times=[p.clock for p in engine.procs],
+        engine=engine,
+    )

@@ -1,0 +1,38 @@
+"""MPI-IO (ROMIO-like) parallel I/O library.
+
+Layering, mirroring ROMIO:
+
+* :class:`ADIOFile` -- contiguous device primitives per file system;
+* :class:`FileView` -- (disp, etype, filetype) view arithmetic;
+* :mod:`~repro.mpiio.sieving` -- independent I/O with data sieving;
+* :mod:`~repro.mpiio.two_phase` -- collective I/O with file domains;
+* :class:`File` -- the user-facing MPI-IO handle;
+* :class:`Hints` -- the MPI_Info knobs.
+"""
+
+from .adio import ADIOFile
+from .file import File
+from .fileview import FileView, map_stream
+from .hints import Hints
+from .sieving import plan_extents, sieve_read, sieve_write
+from .two_phase import (
+    aggregator_ranks,
+    collective_read,
+    collective_write,
+    file_domains,
+)
+
+__all__ = [
+    "File",
+    "Hints",
+    "ADIOFile",
+    "FileView",
+    "map_stream",
+    "plan_extents",
+    "sieve_read",
+    "sieve_write",
+    "collective_read",
+    "collective_write",
+    "aggregator_ranks",
+    "file_domains",
+]

@@ -1,0 +1,104 @@
+"""ADIO: the abstract I/O device layer (Thakur, Gropp, Lusk).
+
+ROMIO is implemented portably on top of ADIO, a small set of contiguous
+read/write primitives that each file system implements.  Everything clever
+(file views, data sieving, two-phase collective I/O) lives above this layer
+and is file-system independent -- exactly the structure we reproduce here.
+
+:class:`ADIOFile` binds one rank to one file of a
+:class:`~repro.pfs.base.FileSystem`: contiguous byte reads/writes at explicit
+offsets, with the rank's virtual clock advanced to the operation's completion
+(blocking POSIX-style semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.comm import Comm
+from ..pfs.base import FileSystem
+
+__all__ = ["ADIOFile", "as_byte_view"]
+
+
+def as_byte_view(data) -> memoryview:
+    """Expose any buffer-ish object as a flat byte view (no copy)."""
+    if isinstance(data, np.ndarray):
+        return memoryview(np.ascontiguousarray(data)).cast("B")
+    return memoryview(data).cast("B")
+
+
+class ADIOFile:
+    """Per-rank handle for raw contiguous file access with timing."""
+
+    def __init__(self, fs: FileSystem, path: str, comm: Comm):
+        self.fs = fs
+        self.path = path
+        self.comm = comm
+        self._closed = False
+
+    @property
+    def _node(self) -> int:
+        world_rank = self.comm.group[self.comm.rank]
+        return self.comm.machine.node_of(world_rank)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"I/O on closed file {self.path!r}")
+
+    # -- contiguous primitives -------------------------------------------
+
+    def read_contig(self, offset: int, nbytes: int) -> bytes:
+        """Blocking contiguous read; advances the rank's clock."""
+        self._check_open()
+        proc = self.comm.proc
+        proc.schedule_point()
+        data, done = self.fs.read(
+            self.path, offset, nbytes, node=self._node, ready_time=proc.clock
+        )
+        proc.advance_to(done)
+        return data
+
+    def write_contig(self, offset: int, data) -> int:
+        """Blocking contiguous write; advances the rank's clock."""
+        self._check_open()
+        buf = as_byte_view(data)
+        proc = self.comm.proc
+        proc.schedule_point()
+        done = self.fs.write(
+            self.path, offset, buf, node=self._node, ready_time=proc.clock
+        )
+        proc.advance_to(done)
+        return len(buf)
+
+    def read_list(self, segments: list[tuple[int, int]]) -> bytes:
+        """One list-I/O read request covering all ``segments``."""
+        self._check_open()
+        proc = self.comm.proc
+        proc.schedule_point()
+        data, done = self.fs.read_list(
+            self.path, segments, node=self._node, ready_time=proc.clock
+        )
+        proc.advance_to(done)
+        return data
+
+    def write_list(self, segments: list[tuple[int, int]], data) -> int:
+        """One list-I/O write request covering all ``segments``."""
+        self._check_open()
+        buf = as_byte_view(data)
+        proc = self.comm.proc
+        proc.schedule_point()
+        done = self.fs.write_list(
+            self.path, segments, buf, node=self._node, ready_time=proc.clock
+        )
+        proc.advance_to(done)
+        return len(buf)
+
+    # -- metadata ------------------------------------------------------------
+
+    def size(self) -> int:
+        self._check_open()
+        return self.fs.file_size(self.path)
+
+    def close(self) -> None:
+        self._closed = True

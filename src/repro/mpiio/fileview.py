@@ -1,0 +1,108 @@
+"""File views: mapping logical datatype streams onto file byte ranges.
+
+An MPI-IO file view is ``(disp, etype, filetype)``: the file is accessed as
+if it consisted only of the bytes selected by tiling ``filetype`` from byte
+``disp`` onward.  Offsets in the data-access calls count *etype units within
+that stream*.  :func:`map_stream` converts a (stream offset, length) request
+into absolute ``(file_offset, length)`` segments -- the single primitive the
+independent and collective I/O paths both consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mpi.datatypes import BYTE, Datatype
+
+__all__ = ["FileView", "map_stream"]
+
+
+@dataclass
+class FileView:
+    """One rank's window onto a file."""
+
+    disp: int = 0
+    etype: Datatype = BYTE
+    filetype: Datatype = None  # defaults to the etype
+    _segs: list = field(default=None, repr=False)  # filetype segments, cached
+
+    def __post_init__(self) -> None:
+        if self.filetype is None:
+            self.filetype = self.etype
+        if self.disp < 0:
+            raise ValueError("negative displacement")
+        if self.etype.size == 0:
+            raise ValueError("etype must have nonzero size")
+        if self.filetype.size % self.etype.size != 0:
+            raise ValueError("filetype size must be a multiple of etype size")
+        self._segs = self.filetype.segments()
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the view exposes the file as-is (modulo disp)."""
+        segs = self._segs
+        return (
+            len(segs) == 1
+            and segs[0] == (0, self.filetype.size)
+            and self.filetype.size == self.filetype.extent
+        )
+
+    def byte_offset(self, offset_etypes: int) -> int:
+        """Stream byte position of an etype-unit offset."""
+        if offset_etypes < 0:
+            raise ValueError("negative offset")
+        return offset_etypes * self.etype.size
+
+    def map_stream(self, stream_offset: int, nbytes: int) -> list[tuple[int, int]]:
+        """Absolute file segments for stream bytes [offset, offset+nbytes)."""
+        return map_stream(
+            self._segs,
+            self.filetype.size,
+            self.filetype.extent,
+            self.disp,
+            stream_offset,
+            nbytes,
+        )
+
+
+def map_stream(
+    ft_segments: list[tuple[int, int]],
+    ft_size: int,
+    ft_extent: int,
+    disp: int,
+    stream_offset: int,
+    nbytes: int,
+) -> list[tuple[int, int]]:
+    """Core view arithmetic, independent of the FileView object.
+
+    ``ft_segments`` describe one filetype instance; the instance covers
+    ``ft_size`` stream bytes and ``ft_extent`` file bytes.  Returns merged,
+    offset-ordered absolute segments.
+    """
+    if stream_offset < 0 or nbytes < 0:
+        raise ValueError("negative stream range")
+    if nbytes == 0:
+        return []
+    if ft_size == 0:
+        raise ValueError("cannot map through a zero-size filetype")
+    out: list[tuple[int, int]] = []
+    lo, hi = stream_offset, stream_offset + nbytes
+    tile = lo // ft_size
+    while tile * ft_size < hi:
+        tile_base_stream = tile * ft_size
+        tile_base_file = disp + tile * ft_extent
+        pos = tile_base_stream  # stream position walking this tile's segments
+        for seg_disp, seg_len in ft_segments:
+            seg_lo, seg_hi = pos, pos + seg_len
+            a, b = max(seg_lo, lo), min(seg_hi, hi)
+            if a < b:
+                file_off = tile_base_file + seg_disp + (a - seg_lo)
+                if out and out[-1][0] + out[-1][1] == file_off:
+                    out[-1] = (out[-1][0], out[-1][1] + (b - a))
+                else:
+                    out.append((file_off, b - a))
+            pos = seg_hi
+            if pos >= hi:
+                break
+        tile += 1
+    return out

@@ -1,0 +1,67 @@
+"""MPI-IO hints (the ``MPI_Info`` knobs ROMIO understands).
+
+Defaults follow ROMIO's documented values from the paper's era: 4 MiB
+collective buffers, data sieving enabled for reads and (read-modify-write)
+writes, one collective-buffering aggregator per compute node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Hints"]
+
+
+@dataclass
+class Hints:
+    """Tunable I/O strategy knobs, one instance per open file."""
+
+    # Two-phase collective buffering.
+    cb_buffer_size: int = 4 * 1024 * 1024
+    #: aggregators per node; None = one per node (ROMIO's cb_config_list default),
+    #: 0 or >= nprocs = every rank aggregates.
+    cb_nodes: int | None = None
+    #: align file domains to this boundary (0 = no alignment; set to the
+    #: file system stripe size to avoid lock/stripe thrash).
+    cb_align: int = 0
+
+    # Independent-I/O data sieving.
+    ds_read: bool = True
+    ds_write: bool = True
+    ind_rd_buffer_size: int = 4 * 1024 * 1024
+    ind_wr_buffer_size: int = 512 * 1024
+    #: sieve only when the useful fraction of the sieved extent is at least
+    #: this (0 disables the density check, always sieve).
+    ds_min_density: float = 0.0
+
+    #: use list I/O for non-contiguous independent access instead of data
+    #: sieving: the whole access list travels in one request (PVFS listio).
+    use_listio: bool = False
+
+    #: write-behind buffering for independent contiguous writes (0 = off):
+    #: consecutive small writes accumulate client-side and flush as one
+    #: large request at this size, on a seek, or at close (the two-stage
+    #: write-behind scheme of Liao et al.).
+    wb_buffer_size: int = 0
+
+    #: application-specific stripe size to request from the file system at
+    #: create time (0 = keep the volume default); honoured by file systems
+    #: that support per-file layouts (the paper's suggested FS extension).
+    striping_unit: int = 0
+
+    def validate(self) -> "Hints":
+        if self.cb_buffer_size < 1:
+            raise ValueError("cb_buffer_size must be >= 1")
+        if self.ind_rd_buffer_size < 1 or self.ind_wr_buffer_size < 1:
+            raise ValueError("sieving buffer sizes must be >= 1")
+        if self.cb_nodes is not None and self.cb_nodes < 0:
+            raise ValueError("cb_nodes must be >= 0")
+        if not 0.0 <= self.ds_min_density <= 1.0:
+            raise ValueError("ds_min_density must be within [0, 1]")
+        if self.cb_align < 0:
+            raise ValueError("cb_align must be >= 0")
+        if self.striping_unit < 0:
+            raise ValueError("striping_unit must be >= 0")
+        if self.wb_buffer_size < 0:
+            raise ValueError("wb_buffer_size must be >= 0")
+        return self

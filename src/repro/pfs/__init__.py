@@ -1,0 +1,33 @@
+"""Simulated parallel file systems.
+
+* :class:`BlockStore` / :class:`StoredFile` -- real byte storage;
+* :class:`FileSystem` -- the API the I/O libraries program against
+  (zero-cost timing, used in unit tests);
+* :class:`StripedServerFS` -- striped client/server model with the
+  contention mechanisms of GPFS and PVFS (and, degenerately, XFS);
+* :class:`LocalDiskFS` -- node-private disks (the paper's 4th experiment);
+* :class:`StripeLayout` -- striping arithmetic.
+"""
+
+from .base import FileSystem, FSCounters, InjectedIOError, LRUCache
+from .blockstore import BlockStore, FileExists, FileNotFound, StoredFile
+from .localfs import LocalDiskFS
+from .striped import IOServer, StripedServerFS, coalesce_runs
+from .striping import Chunk, StripeLayout
+
+__all__ = [
+    "FileSystem",
+    "FSCounters",
+    "LRUCache",
+    "InjectedIOError",
+    "BlockStore",
+    "StoredFile",
+    "FileNotFound",
+    "FileExists",
+    "LocalDiskFS",
+    "StripedServerFS",
+    "IOServer",
+    "coalesce_runs",
+    "Chunk",
+    "StripeLayout",
+]

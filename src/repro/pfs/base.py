@@ -1,0 +1,309 @@
+"""File-system abstraction shared by every parallel-file-system model.
+
+A :class:`FileSystem` answers two questions for every operation: what bytes
+(via the :class:`~repro.pfs.blockstore.BlockStore`, which stores real data)
+and when it completes (via the subclass's timing model).  The layers above
+(MPI-IO's ADIO binding, the HDF4/HDF5 libraries) only ever see this API.
+
+Also here: :class:`LRUCache`, the extent cache used by server models for the
+read-caching effects the paper observes on PVFS.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .blockstore import BlockStore
+
+__all__ = ["FileSystem", "FSCounters", "LRUCache", "InjectedIOError"]
+
+
+@dataclass
+class FSCounters:
+    """Operation/byte counters, reported by the benchmark harness."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    opens: int = 0
+    metadata_ops: int = 0
+
+    def reset(self) -> None:
+        self.reads = self.writes = 0
+        self.bytes_read = self.bytes_written = 0
+        self.opens = self.metadata_ops = 0
+
+
+class InjectedIOError(OSError):
+    """Raised by a file system when a scheduled fault fires."""
+
+
+class FileSystem:
+    """Base class: data path through the block store, timing via hooks.
+
+    Subclasses override :meth:`_service_read` / :meth:`_service_write` /
+    :meth:`_service_meta` to implement their performance model.  The base
+    implementations are zero-cost (an "infinitely fast" file system), which
+    is what the unit tests of higher layers use.
+
+    Fault injection: :meth:`inject_fault` arms one-shot failures so tests
+    can verify that I/O errors surface cleanly through every library layer
+    (they become :class:`~repro.sim.errors.RankFailedError` at the engine).
+    """
+
+    def __init__(self, name: str = "nullfs", store: BlockStore | None = None):
+        self.name = name
+        self.store = store if store is not None else BlockStore()
+        self.counters = FSCounters()
+        self._faults: list[tuple[str, str, int]] = []
+
+    # -- fault injection -----------------------------------------------------
+
+    def inject_fault(self, op: str, path_substring: str = "", *, after: int = 0) -> None:
+        """Arm a one-shot fault: the ``after``-th matching op raises.
+
+        ``op`` is "read", "write" or "meta"; the fault fires on the first
+        matching operation once ``after`` earlier matches have passed.
+        """
+        if op not in ("read", "write", "meta"):
+            raise ValueError(f"unknown op {op!r}")
+        self._faults.append((op, path_substring, after))
+
+    def _check_fault(self, op: str, path: str) -> None:
+        for i, (fop, sub, after) in enumerate(self._faults):
+            if fop != op or sub not in path:
+                continue
+            if after > 0:
+                self._faults[i] = (fop, sub, after - 1)
+                return
+            del self._faults[i]
+            raise InjectedIOError(f"injected {op} fault on {path!r}")
+
+    # -- namespace ------------------------------------------------------
+
+    def create(self, path: str, *, node: int = 0, ready_time: float = 0.0) -> float:
+        """Create or truncate ``path``; returns the completion time."""
+        self._check_fault("meta", path)
+        self.store.create(path)
+        self.counters.opens += 1
+        self.counters.metadata_ops += 1
+        return self._service_meta("create", path, node, ready_time)
+
+    def open(
+        self, path: str, *, node: int = 0, ready_time: float = 0.0, create: bool = False
+    ) -> float:
+        """Open ``path`` (must exist unless ``create``); returns completion time."""
+        self.store.open(path, create=create)
+        self.counters.opens += 1
+        self.counters.metadata_ops += 1
+        return self._service_meta("open", path, node, ready_time)
+
+    def delete(self, path: str, *, node: int = 0, ready_time: float = 0.0) -> float:
+        self.store.delete(path)
+        self.counters.metadata_ops += 1
+        return self._service_meta("delete", path, node, ready_time)
+
+    def exists(self, path: str) -> bool:
+        return self.store.exists(path)
+
+    def file_size(self, path: str) -> int:
+        return self.store.open(path).size
+
+    # -- data -------------------------------------------------------------
+
+    def read(
+        self, path: str, offset: int, nbytes: int, *, node: int = 0, ready_time: float = 0.0
+    ) -> tuple[bytes, float]:
+        """Read bytes; returns ``(data, completion_time)``."""
+        self._check_fault("read", path)
+        f = self.store.open(path)
+        data = f.read(offset, nbytes)
+        self.counters.reads += 1
+        self.counters.bytes_read += nbytes
+        done = self._service_read(path, offset, nbytes, node, ready_time)
+        return data, done
+
+    def write(
+        self,
+        path: str,
+        offset: int,
+        data: bytes | bytearray | memoryview,
+        *,
+        node: int = 0,
+        ready_time: float = 0.0,
+    ) -> float:
+        """Write bytes; returns the completion time."""
+        self._check_fault("write", path)
+        f = self.store.open(path, create=True)
+        n = f.write(offset, data)
+        self.counters.writes += 1
+        self.counters.bytes_written += n
+        return self._service_write(path, offset, n, node, ready_time)
+
+    # -- list I/O ---------------------------------------------------------
+
+    def read_list(
+        self,
+        path: str,
+        segments: list[tuple[int, int]],
+        *,
+        node: int = 0,
+        ready_time: float = 0.0,
+    ) -> tuple[bytes, float]:
+        """Read many (offset, nbytes) segments as ONE file-system request.
+
+        This is PVFS list-I/O (Ching/Choudhary et al.): the request
+        carries the whole access list, so the per-request software costs
+        are paid once rather than per segment.  Returns the concatenated
+        bytes and the completion time.  The base implementation simply
+        loops; performance-model subclasses override the timing.
+        """
+        self._check_fault("read", path)
+        f = self.store.open(path)
+        data = b"".join(f.read(off, n) for off, n in segments)
+        self.counters.reads += 1
+        self.counters.bytes_read += sum(n for _, n in segments)
+        done = self._service_list(path, segments, node, ready_time, "read")
+        return data, done
+
+    def write_list(
+        self,
+        path: str,
+        segments: list[tuple[int, int]],
+        data,
+        *,
+        node: int = 0,
+        ready_time: float = 0.0,
+    ) -> float:
+        """Write ``data`` into many (offset, nbytes) segments as ONE request."""
+        self._check_fault("write", path)
+        buf = memoryview(data).cast("B")
+        total = sum(n for _, n in segments)
+        if len(buf) != total:
+            raise ValueError(f"data has {len(buf)} bytes, segments need {total}")
+        f = self.store.open(path, create=True)
+        pos = 0
+        for off, n in segments:
+            f.write(off, buf[pos : pos + n])
+            pos += n
+        self.counters.writes += 1
+        self.counters.bytes_written += total
+        return self._service_list(path, segments, node, ready_time, "write")
+
+    def _service_list(
+        self,
+        path: str,
+        segments: list[tuple[int, int]],
+        node: int,
+        ready_time: float,
+        op: str,
+    ) -> float:
+        """Timing hook for list I/O; defaults to per-segment service."""
+        t = ready_time
+        for off, n in segments:
+            if op == "read":
+                t = self._service_read(path, off, n, node, t)
+            else:
+                t = self._service_write(path, off, n, node, t)
+        return t
+
+    # -- timing hooks (override in subclasses) -----------------------------
+
+    def _service_read(
+        self, path: str, offset: int, nbytes: int, node: int, ready_time: float
+    ) -> float:
+        return ready_time
+
+    def _service_write(
+        self, path: str, offset: int, nbytes: int, node: int, ready_time: float
+    ) -> float:
+        return ready_time
+
+    def _service_meta(self, op: str, path: str, node: int, ready_time: float) -> float:
+        return ready_time
+
+    def reset_timing(self) -> None:
+        """Zero device timelines (keep data and cache contents).
+
+        Call between independently-timed phases so one phase's queue state
+        does not leak into the next measurement.
+        """
+
+    def describe(self) -> str:
+        """One-line description for benchmark reports."""
+        return self.name
+
+
+@dataclass
+class LRUCache:
+    """Block-granular LRU cache (read cache / prefetch buffer of a server).
+
+    Tracks *which* blocks are resident, not their contents -- contents always
+    come from the block store; the cache only decides whether disk time is
+    charged.  Granularity is ``block_size`` bytes.
+    """
+
+    capacity_bytes: int = 0
+    block_size: int = 65536
+    #: charge whole blocks for partially-missing reads (GPFS-style
+    #: block-aligned I/O: a small read costs a full file-system block).
+    amplify: bool = False
+    _blocks: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.capacity_bytes // self.block_size
+
+    def _key_range(self, offset: int, nbytes: int) -> range:
+        if nbytes <= 0:
+            return range(0)
+        first = offset // self.block_size
+        last = (offset + nbytes - 1) // self.block_size
+        return range(first, last + 1)
+
+    def lookup(self, path: str, offset: int, nbytes: int) -> int:
+        """Return the number of *missing* bytes (must come from disk).
+
+        Resident blocks are refreshed (LRU touch); missing blocks are
+        inserted, modelling demand-filling the cache as the read completes.
+        """
+        if self.capacity_blocks == 0:
+            self.misses += 1
+            return nbytes
+        missing_blocks = 0
+        keys = self._key_range(offset, nbytes)
+        for b in keys:
+            key = (path, b)
+            if key in self._blocks:
+                self._blocks.move_to_end(key)
+                self.hits += 1
+            else:
+                missing_blocks += 1
+                self.misses += 1
+                self._insert(key)
+        if self.amplify:
+            return missing_blocks * self.block_size
+        return min(nbytes, missing_blocks * self.block_size)
+
+    def populate(self, path: str, offset: int, nbytes: int) -> None:
+        """Mark blocks resident (e.g. after a write-through)."""
+        if self.capacity_blocks == 0:
+            return
+        for b in self._key_range(offset, nbytes):
+            self._insert((path, b))
+
+    def invalidate(self, path: str) -> None:
+        """Drop all blocks of ``path``."""
+        stale = [k for k in self._blocks if k[0] == path]
+        for k in stale:
+            del self._blocks[k]
+
+    def _insert(self, key) -> None:
+        self._blocks[key] = True
+        self._blocks.move_to_end(key)
+        while len(self._blocks) > self.capacity_blocks:
+            self._blocks.popitem(last=False)

@@ -1,0 +1,115 @@
+"""In-memory byte storage backing every simulated file system.
+
+The performance models in this package decide *when* an operation completes;
+the :class:`BlockStore` decides *what* the bytes are.  Keeping real bytes --
+instead of only tracking sizes -- means every simulated experiment doubles
+as a correctness test: a checkpoint written through any I/O stack can be
+re-read and compared bit-for-bit.
+
+Files are sparse: reads from never-written ranges return zeros, like POSIX.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StoredFile", "BlockStore", "FileNotFound", "FileExists"]
+
+
+class FileNotFound(OSError):
+    """The named file does not exist in the store."""
+
+
+class FileExists(OSError):
+    """Exclusive creation failed because the file already exists."""
+
+
+class StoredFile:
+    """A single file: a growable byte buffer plus a logical size."""
+
+    __slots__ = ("path", "_buf", "size")
+
+    def __init__(self, path: str):
+        self.path = path
+        self._buf = bytearray()
+        self.size = 0
+
+    def write(self, offset: int, data: bytes | bytearray | memoryview) -> int:
+        """Write ``data`` at ``offset``, growing the file as needed."""
+        if offset < 0:
+            raise ValueError(f"negative offset: {offset}")
+        data = memoryview(data).cast("B")
+        end = offset + len(data)
+        if end > len(self._buf):
+            self._buf.extend(b"\0" * (end - len(self._buf)))
+        self._buf[offset:end] = data
+        if end > self.size:
+            self.size = end
+        return len(data)
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` at ``offset``; ranges past EOF read as zeros.
+
+        POSIX would short-read at EOF; zero-filling instead keeps the layers
+        above simple (they always know the file size and never read past the
+        data they wrote) while still being deterministic if they do.
+        """
+        if offset < 0:
+            raise ValueError(f"negative offset: {offset}")
+        if nbytes < 0:
+            raise ValueError(f"negative read size: {nbytes}")
+        chunk = bytes(self._buf[offset : offset + nbytes])
+        if len(chunk) < nbytes:
+            chunk += b"\0" * (nbytes - len(chunk))
+        return chunk
+
+    def truncate(self, size: int) -> None:
+        """Set the logical size; shrinking discards bytes."""
+        if size < 0:
+            raise ValueError(f"negative size: {size}")
+        if size < len(self._buf):
+            del self._buf[size:]
+        self.size = size
+
+
+class BlockStore:
+    """A flat namespace of :class:`StoredFile` objects."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, StoredFile] = {}
+
+    def create(self, path: str, *, exclusive: bool = False) -> StoredFile:
+        """Create (or truncate-open) ``path``."""
+        if path in self._files:
+            if exclusive:
+                raise FileExists(path)
+            f = self._files[path]
+            f.truncate(0)
+            return f
+        f = StoredFile(path)
+        self._files[path] = f
+        return f
+
+    def open(self, path: str, *, create: bool = False) -> StoredFile:
+        """Return the file at ``path``; optionally create it if missing."""
+        f = self._files.get(path)
+        if f is None:
+            if not create:
+                raise FileNotFound(path)
+            f = StoredFile(path)
+            self._files[path] = f
+        return f
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise FileNotFound(path)
+        del self._files[path]
+
+    def listdir(self) -> list[str]:
+        """All file paths, sorted (the namespace is flat)."""
+        return sorted(self._files)
+
+    def total_bytes(self) -> int:
+        """Sum of logical file sizes."""
+        return sum(f.size for f in self._files.values())

@@ -1,0 +1,440 @@
+"""Striped client/server parallel file system model (GPFS- and PVFS-like).
+
+The model captures the effects the paper measures:
+
+* **striping decomposition** -- a request is split into stripe-unit chunks,
+  consecutive chunks on the same server are coalesced into runs, and each
+  run is served by that server's network link, request CPU and disk;
+* **disk seek locality** -- a run that does not start where the server's
+  disk head last stopped pays a seek, so many small interleaved requests
+  (the access-pattern/striping *mismatch*) are far slower than streams;
+* **server read cache** -- recently touched blocks skip the disk, producing
+  the PVFS read-caching benefit the paper observes;
+* **shared-file write tokens** (GPFS) -- stripes have a writing owner; a
+  write run whose stripes were last written by a different node pays a
+  token-revocation penalty, so single-writer streams are cheap and
+  fine-grained shared writes thrash;
+* **SMP I/O queue** (IBM SP) -- every request from a node passes through a
+  per-node queue with a fixed service cost, so many ranks of one SMP node
+  doing I/O simultaneously serialise;
+* **client NIC coupling** -- payload occupies the client's network-interface
+  timeline of the machine interconnect, so I/O traffic and message-passing
+  traffic contend (the fast-Ethernet effect on the Linux cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.resources import Timeline
+from ..topology.network import Network
+from .base import FileSystem, LRUCache
+from .blockstore import BlockStore
+from .striping import Chunk, StripeLayout
+
+__all__ = ["IOServer", "StripedServerFS"]
+
+
+@dataclass
+class IOServer:
+    """One I/O server: NIC in/out, request CPU, disk with head position."""
+
+    index: int
+    disk_bandwidth: float
+    seek_time: float
+    request_cpu_time: float
+    net_bandwidth: float
+    net_latency: float
+    cache: LRUCache
+    disk: Timeline = field(default_factory=Timeline)
+    cpu: Timeline = field(default_factory=Timeline)
+    net_in: Timeline = field(default_factory=Timeline)
+    net_out: Timeline = field(default_factory=Timeline)
+    # (path, local_offset) where the head stopped; used for seek detection.
+    _head: tuple[str, int] | None = None
+
+    def disk_time(self, path: str, local_offset: int, nbytes: int) -> float:
+        """Service time for ``nbytes`` at ``local_offset``, tracking the head."""
+        seek = 0.0
+        if self._head != (path, local_offset):
+            seek = self.seek_time
+        self._head = (path, local_offset + nbytes)
+        return seek + nbytes / self.disk_bandwidth
+
+    def serve_write(self, path: str, local_offset: int, nbytes: int, arrive: float) -> float:
+        """Payload has arrived at ``arrive``; returns write completion."""
+        _, t = self.net_in.serve(arrive, nbytes / self.net_bandwidth)
+        _, t = self.cpu.serve(t, self.request_cpu_time)
+        _, t = self.disk.serve(t, self.disk_time(path, local_offset, nbytes))
+        self.cache.populate(path, local_offset, nbytes)
+        return t
+
+    def serve_read(self, path: str, local_offset: int, nbytes: int, arrive: float) -> float:
+        """Request arrived at ``arrive``; returns when data is on the wire."""
+        _, t = self.cpu.serve(arrive, self.request_cpu_time)
+        missing = self.cache.lookup(path, local_offset, nbytes)
+        if missing > 0:
+            _, t = self.disk.serve(t, self.disk_time(path, local_offset, missing))
+        _, t = self.net_out.serve(t, nbytes / self.net_bandwidth)
+        return t
+
+
+@dataclass(frozen=True)
+class _Run:
+    """Consecutive chunks on one server merged into a single wire request."""
+
+    server: int
+    local_offset: int
+    size: int
+
+
+def coalesce_runs(chunks: list[Chunk]) -> list[_Run]:
+    """Merge stripe chunks that are contiguous in a server's local store."""
+    pending: dict[int, _Run] = {}
+    runs: list[_Run] = []
+    for c in chunks:
+        prev = pending.get(c.server)
+        if prev is not None and prev.local_offset + prev.size == c.local_offset:
+            pending[c.server] = _Run(c.server, prev.local_offset, prev.size + c.size)
+        else:
+            if prev is not None:
+                runs.append(prev)
+            pending[c.server] = _Run(c.server, c.local_offset, c.size)
+    runs.extend(pending.values())
+    return runs
+
+
+class StripedServerFS(FileSystem):
+    """A file system striped over dedicated I/O servers.
+
+    Parameters select which contention mechanisms are active; the presets in
+    :mod:`repro.topology.presets` configure them per platform.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        nservers: int,
+        stripe_size: int,
+        disk_bandwidth: float,
+        seek_time: float,
+        request_cpu_time: float = 0.0,
+        server_net_bandwidth: float = float("inf"),
+        net_latency: float = 0.0,
+        metadata_time: float = 0.0,
+        cache_bytes_per_server: int = 0,
+        client_network: Network | None = None,
+        client_channel_bandwidth: float = float("inf"),
+        write_token_time: float = 0.0,
+        token_granularity: str = "stripe",
+        tokens_on_read: bool = False,
+        stripe_aligned_io: bool = False,
+        smp_io_queue_time: float = 0.0,
+        store: BlockStore | None = None,
+        node_of_client=None,
+    ):
+        super().__init__(name=name, store=store)
+        self.layout = StripeLayout(stripe_size=stripe_size, nservers=nservers)
+        # The paper's closing file-system suggestion: "flexible,
+        # application-specific disk file striping and distribution
+        # patterns".  Files may override the volume default.
+        self._file_layouts: dict[str, StripeLayout] = {}
+        self.net_latency = net_latency
+        self.metadata_time = metadata_time
+        self.client_network = client_network
+        # Per-process I/O path ceiling (syscall + page cache + HBA): caps
+        # what a single synchronous stream achieves no matter how many
+        # servers the file stripes over.
+        self.client_channel_bandwidth = client_channel_bandwidth
+        self._client_channels: dict[int, Timeline] = {}
+        self.write_token_time = write_token_time
+        if token_granularity not in ("stripe", "file"):
+            raise ValueError(f"unknown token granularity {token_granularity!r}")
+        # "stripe": a token per stripe unit (fine byte-range tokens).
+        # "file": one coarse token per file -- GPFS's initial whole-range
+        # grant; under interleaved multi-node access virtually every request
+        # from a different node than the last holder pays a revocation,
+        # which is the access/striping mismatch collapse the paper measured.
+        self.token_granularity = token_granularity
+        # Whether reads also need the (exclusive-held) token revoked -- i.e.
+        # reading data another node recently wrote forces a flush.
+        self.tokens_on_read = tokens_on_read
+        self.smp_io_queue_time = smp_io_queue_time
+        # Maps a client id (a rank) to its SMP node; identity when None.
+        self.node_of_client = node_of_client or (lambda c: c)
+        self.servers = [
+            IOServer(
+                index=i,
+                disk_bandwidth=disk_bandwidth,
+                seek_time=seek_time,
+                request_cpu_time=request_cpu_time,
+                net_bandwidth=server_net_bandwidth,
+                net_latency=net_latency,
+                cache=LRUCache(
+                    capacity_bytes=cache_bytes_per_server,
+                    block_size=stripe_size,
+                    amplify=stripe_aligned_io,
+                ),
+            )
+            for i in range(nservers)
+        ]
+        # GPFS-like byte-range write tokens: stripe index -> owning node.
+        # Revocations serialise at the token manager (round-trip + flush of
+        # the previous owner's cached copy), which is what makes
+        # fine-grained shared-file writes collapse.
+        self._stripe_owner: dict[tuple[str, int], int] = {}
+        self.token_manager = Timeline(name=f"{name}.token-mgr")
+        # Per-SMP-node I/O request queues (created lazily).
+        self._node_queues: dict[int, Timeline] = {}
+        self.token_revocations = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def set_file_striping(self, path: str, stripe_size: int) -> None:
+        """Give ``path`` its own stripe size (application-specific layout).
+
+        Must be called before data is written; the simulated store keeps
+        bytes independently of layout, so only timing is affected.
+        """
+        self._file_layouts[path] = StripeLayout(
+            stripe_size=stripe_size, nservers=self.layout.nservers
+        )
+
+    def layout_for(self, path: str) -> StripeLayout:
+        return self._file_layouts.get(path, self.layout)
+
+    def _node_queue(self, node: int) -> Timeline:
+        q = self._node_queues.get(node)
+        if q is None:
+            q = Timeline(name=f"{self.name}.ioq[{node}]")
+            self._node_queues[node] = q
+        return q
+
+    def _channel(self, node: int, ready: float, nbytes: int) -> float:
+        """Occupy the client's per-process I/O channel; returns done time."""
+        if self.client_channel_bandwidth == float("inf"):
+            return ready
+        ch = self._client_channels.get(node)
+        if ch is None:
+            ch = Timeline(name=f"{self.name}.chan[{node}]")
+            self._client_channels[node] = ch
+        _, done = ch.serve(ready, nbytes / self.client_channel_bandwidth)
+        return done
+
+    def _client_links(self, node: int):
+        if self.client_network is None:
+            return None, None, 0.0
+        net = self.client_network
+        return net.egress[node], net.ingress[node], 1.0 / net.bandwidth
+
+    def _token_keys(
+        self, path: str, chunks: list[Chunk], layout: StripeLayout
+    ) -> list[tuple]:
+        if self.token_granularity == "file":
+            return [(path,)]
+        seen: set[int] = set()
+        keys: list[tuple] = []
+        for c in chunks:
+            stripe = c.file_offset // layout.stripe_size
+            if stripe not in seen:
+                seen.add(stripe)
+                keys.append((path, stripe))
+        return keys
+
+    def _token_penalty(
+        self, path: str, chunks: list[Chunk], node: int, ready: float,
+        layout: StripeLayout | None = None,
+    ) -> float:
+        """GPFS write-token cost: revocations serialise at the token manager.
+
+        Returns the time at which all needed tokens are held.  Ranges never
+        written before are granted for free; a range last written by a
+        different node costs one serialised revocation round-trip (which is
+        why interleaved fine-grained shared-file writes collapse).
+        """
+        if self.write_token_time == 0.0:
+            return ready
+        t = ready
+        for key in self._token_keys(path, chunks, layout or self.layout):
+            owner = self._stripe_owner.get(key)
+            if owner != node:
+                if owner is not None:
+                    self.token_revocations += 1
+                    _, t = self.token_manager.serve(t, self.write_token_time)
+                self._stripe_owner[key] = node
+        return t
+
+    def _read_token_penalty(
+        self, path: str, chunks: list[Chunk], node: int, ready: float,
+        layout: StripeLayout | None = None,
+    ) -> float:
+        """Reading data another node holds a write token for flushes it once.
+
+        After the flush the range is shared (owner ``None``): subsequent
+        readers are free until somebody writes again.
+        """
+        if self.write_token_time == 0.0 or not self.tokens_on_read:
+            return ready
+        t = ready
+        for key in self._token_keys(path, chunks, layout or self.layout):
+            owner = self._stripe_owner.get(key)
+            if owner is not None and owner != node:
+                self.token_revocations += 1
+                _, t = self.token_manager.serve(t, self.write_token_time)
+                self._stripe_owner[key] = None
+        return t
+
+    # -- timing model --------------------------------------------------------
+
+    def _service_meta(self, op: str, path: str, node: int, ready_time: float) -> float:
+        # A metadata round-trip to server 0's CPU.
+        srv = self.servers[0]
+        _, t = srv.cpu.serve(ready_time + self.net_latency, self.metadata_time)
+        return t + self.net_latency
+
+    def _service_write(
+        self, path: str, offset: int, nbytes: int, node: int, ready_time: float
+    ) -> float:
+        if nbytes == 0:
+            return ready_time
+        smp_node = self.node_of_client(node)
+        t = ready_time
+        if self.smp_io_queue_time > 0.0:
+            _, t = self._node_queue(smp_node).serve(t, self.smp_io_queue_time)
+        t = self._channel(smp_node, t, nbytes)
+        layout = self.layout_for(path)
+        chunks = layout.decompose(offset, nbytes)
+        t = self._token_penalty(path, chunks, smp_node, t, layout)
+        runs = coalesce_runs(chunks)
+        egress, _, inv_bw = self._client_links(smp_node)
+        completion = t
+        for run in runs:
+            if egress is not None:
+                _, sent = egress.serve(t, run.size * inv_bw)
+            else:
+                sent = t
+            srv = self.servers[run.server]
+            done = srv.serve_write(path, run.local_offset, run.size, sent + self.net_latency)
+            completion = max(completion, done + self.net_latency)  # ack
+        return completion
+
+    def _service_read(
+        self, path: str, offset: int, nbytes: int, node: int, ready_time: float
+    ) -> float:
+        if nbytes == 0:
+            return ready_time
+        smp_node = self.node_of_client(node)
+        t = ready_time
+        if self.smp_io_queue_time > 0.0:
+            _, t = self._node_queue(smp_node).serve(t, self.smp_io_queue_time)
+        t = self._channel(smp_node, t, nbytes)
+        layout = self.layout_for(path)
+        chunks = layout.decompose(offset, nbytes)
+        t = self._read_token_penalty(path, chunks, smp_node, t, layout)
+        runs = coalesce_runs(chunks)
+        _, ingress, inv_bw = self._client_links(smp_node)
+        completion = t
+        for run in runs:
+            srv = self.servers[run.server]
+            on_wire = srv.serve_read(path, run.local_offset, run.size, t + self.net_latency)
+            if ingress is not None:
+                _, arrived = ingress.serve(on_wire + self.net_latency, run.size * inv_bw)
+            else:
+                arrived = on_wire + self.net_latency
+            completion = max(completion, arrived)
+        return completion
+
+    def _service_list(self, path, segments, node, ready_time, op):
+        """PVFS list-I/O: the access list travels in one request.
+
+        Per-request costs (SMP queue, client channel, request CPU at each
+        server) are paid once; the disk still serves each physical run.
+        """
+        nbytes = sum(n for _, n in segments)
+        if nbytes == 0:
+            return ready_time
+        smp_node = self.node_of_client(node)
+        t = ready_time
+        if self.smp_io_queue_time > 0.0:
+            _, t = self._node_queue(smp_node).serve(t, self.smp_io_queue_time)
+        t = self._channel(smp_node, t, nbytes)
+        layout = self.layout_for(path)
+        chunks = [
+            c for off, n in segments for c in layout.decompose(off, n)
+        ]
+        if op == "write":
+            t = self._token_penalty(path, chunks, smp_node, t, layout)
+        else:
+            t = self._read_token_penalty(path, chunks, smp_node, t, layout)
+        runs = coalesce_runs(sorted(chunks, key=lambda c: c.file_offset))
+        egress, ingress, inv_bw = self._client_links(smp_node)
+        # Group the list's runs per server: the server sees the whole batch
+        # and can elevator-schedule it, so it pays one request-CPU charge
+        # and one seek for the batch, then streams the bytes in offset
+        # order -- the core advantage of list I/O over per-segment access.
+        per_server: dict[int, list] = {}
+        for run in runs:
+            per_server.setdefault(run.server, []).append(run)
+        completion = t
+        for sid, batch in per_server.items():
+            srv = self.servers[sid]
+            batch.sort(key=lambda r: r.local_offset)
+            total = sum(r.size for r in batch)
+            if op == "write":
+                if egress is not None:
+                    _, sent = egress.serve(t, total * inv_bw)
+                else:
+                    sent = t
+                _, tt = srv.net_in.serve(
+                    sent + self.net_latency, total / srv.net_bandwidth
+                )
+                _, tt = srv.cpu.serve(tt, srv.request_cpu_time)
+                _, tt = srv.disk.serve(
+                    tt, srv.seek_time + total / srv.disk_bandwidth
+                )
+                srv._head = (path, batch[-1].local_offset + batch[-1].size)
+                for run in batch:
+                    srv.cache.populate(path, run.local_offset, run.size)
+                completion = max(completion, tt + self.net_latency)
+            else:
+                _, tt = srv.cpu.serve(t + self.net_latency, srv.request_cpu_time)
+                missing = sum(
+                    srv.cache.lookup(path, r.local_offset, r.size)
+                    for r in batch
+                )
+                if missing > 0:
+                    _, tt = srv.disk.serve(
+                        tt, srv.seek_time + missing / srv.disk_bandwidth
+                    )
+                    srv._head = (
+                        path, batch[-1].local_offset + batch[-1].size
+                    )
+                _, on_wire = srv.net_out.serve(tt, total / srv.net_bandwidth)
+                if ingress is not None:
+                    _, arrived = ingress.serve(
+                        on_wire + self.net_latency, total * inv_bw
+                    )
+                else:
+                    arrived = on_wire + self.net_latency
+                completion = max(completion, arrived)
+        return completion
+
+    def reset_timing(self) -> None:
+        for srv in self.servers:
+            srv.disk.reset()
+            srv.cpu.reset()
+            srv.net_in.reset()
+            srv.net_out.reset()
+            srv._head = None
+        for q in self._node_queues.values():
+            q.reset()
+        for ch in self._client_channels.values():
+            ch.reset()
+        self.token_manager.reset()
+
+    def describe(self) -> str:
+        lay = self.layout
+        return (
+            f"{self.name}: {lay.nservers} servers, {lay.stripe_size // 1024} KiB stripes"
+        )

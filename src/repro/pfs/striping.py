@@ -1,0 +1,98 @@
+"""Striping layout arithmetic.
+
+Parallel file systems in this study (GPFS, PVFS) stripe each file round-robin
+over their I/O servers in fixed-size units chosen at configuration time.  The
+paper's central file-system observation is the *mismatch* between these fixed
+physical patterns and the application's logical access patterns: a logically
+contiguous request can shatter into chunks on many servers, and logically
+disjoint requests from different processors can collide on one server.
+
+:class:`StripeLayout` is the pure arithmetic: file offset <-> (server, local
+offset), and decomposition of byte ranges into per-server chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StripeLayout", "Chunk"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A piece of a file request that lands on one server.
+
+    ``local_offset`` is the position inside the server's backing store for
+    this file (stripes a server owns are packed densely, like PVFS does).
+    """
+
+    server: int
+    file_offset: int
+    local_offset: int
+    size: int
+
+    @property
+    def file_end(self) -> int:
+        return self.file_offset + self.size
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Round-robin striping of a file across ``nservers`` servers."""
+
+    stripe_size: int
+    nservers: int
+
+    def __post_init__(self) -> None:
+        if self.stripe_size < 1:
+            raise ValueError("stripe_size must be >= 1")
+        if self.nservers < 1:
+            raise ValueError("nservers must be >= 1")
+
+    def server_of(self, offset: int) -> int:
+        """The server holding the byte at ``offset``."""
+        if offset < 0:
+            raise ValueError("negative offset")
+        return (offset // self.stripe_size) % self.nservers
+
+    def local_offset(self, offset: int) -> int:
+        """Position of ``offset`` inside its server's dense local store."""
+        stripe = offset // self.stripe_size
+        return (stripe // self.nservers) * self.stripe_size + offset % self.stripe_size
+
+    def decompose(self, offset: int, nbytes: int) -> list[Chunk]:
+        """Split ``[offset, offset + nbytes)`` into per-server chunks.
+
+        Chunks are returned in file-offset order; consecutive stripes on the
+        same server are *not* merged (each stripe crossing is a separate
+        chunk), mirroring how stripe-unit requests hit the wire.
+        """
+        if nbytes < 0:
+            raise ValueError("negative size")
+        chunks: list[Chunk] = []
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            stripe = pos // self.stripe_size
+            stripe_end = (stripe + 1) * self.stripe_size
+            size = min(end, stripe_end) - pos
+            chunks.append(
+                Chunk(
+                    server=stripe % self.nservers,
+                    file_offset=pos,
+                    local_offset=self.local_offset(pos),
+                    size=size,
+                )
+            )
+            pos += size
+        return chunks
+
+    def servers_touched(self, offset: int, nbytes: int) -> set[int]:
+        """The set of servers a request lands on."""
+        if nbytes <= 0:
+            return set()
+        first = offset // self.stripe_size
+        last = (offset + nbytes - 1) // self.stripe_size
+        if last - first + 1 >= self.nservers:
+            return set(range(self.nservers))
+        return {(s % self.nservers) for s in range(first, last + 1)}

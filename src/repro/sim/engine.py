@@ -1,0 +1,286 @@
+"""Deterministic discrete-event engine for SPMD simulations.
+
+The engine runs ``nprocs`` *virtual processors* (ranks), each as a Python
+thread, but admits **exactly one** thread at a time.  Each rank carries a
+virtual clock; whenever a rank is about to interact with shared state (send
+a message, touch a file-system resource, enter a barrier) it first reaches a
+*schedule point* where control is handed to whichever runnable rank currently
+has the smallest clock.  Because context switches happen only at schedule
+points chosen by the library, and the next rank is always selected by the
+total order ``(clock, rank)``, a simulation is fully deterministic: the same
+program produces the same event ordering and the same virtual times on every
+run, independent of OS thread scheduling.
+
+Two invariants make the model sound:
+
+* shared-state operations are globally time-ordered -- a rank only performs
+  one when no other *runnable* rank has a smaller clock, and a blocked rank
+  can only be woken to a time at or after its waker's clock;
+* pure local computation (``advance``) never needs a context switch, keeping
+  the engine cheap for compute-heavy ranks.
+
+This is a conservative parallel-discrete-event design in the spirit of the
+sequential simulators used for interconnect and storage research, shrunk to
+exactly what the parallel-I/O stack above it needs.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional, Sequence
+
+from .errors import DeadlockError, NotRunningError, RankFailedError
+
+__all__ = ["Engine", "Proc", "ProcState", "current_proc"]
+
+
+class ProcState(Enum):
+    """Life-cycle state of a virtual processor."""
+
+    READY = "ready"  # runnable, waiting to be scheduled
+    RUNNING = "running"  # the single currently-executing rank
+    BLOCKED = "blocked"  # waiting for a wake() from another rank
+    DONE = "done"  # SPMD function returned
+    FAILED = "failed"  # SPMD function raised
+
+
+_tls = threading.local()
+
+
+def current_proc() -> "Proc":
+    """Return the :class:`Proc` of the calling simulation thread.
+
+    Raises :class:`NotRunningError` when called from outside a simulation.
+    """
+    proc = getattr(_tls, "proc", None)
+    if proc is None:
+        raise NotRunningError("no simulation rank is active on this thread")
+    return proc
+
+
+@dataclass
+class Proc:
+    """One virtual processor: a rank with its own virtual clock."""
+
+    engine: "Engine"
+    rank: int
+    clock: float = 0.0
+    state: ProcState = ProcState.READY
+    _go: threading.Event = field(default_factory=threading.Event)
+    result: Any = None
+    error: Optional[BaseException] = None
+    # Free-form per-rank scratch space for layers above (MPI mailboxes, ...).
+    ns: dict = field(default_factory=dict)
+
+    # -- time ------------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        """Consume ``dt`` seconds of purely local (compute) virtual time."""
+        if dt < 0:
+            raise ValueError(f"negative time advance: {dt}")
+        self.clock += dt
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t`` (no-op if already past it)."""
+        if t > self.clock:
+            self.clock = t
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule_point(self) -> None:
+        """Yield until this rank has the minimum clock among runnable ranks.
+
+        Call this *immediately before* any operation on shared state so that
+        such operations occur in global virtual-time order.
+        """
+        self.engine._schedule_point(self)
+
+    def block(self) -> None:
+        """Suspend this rank until another rank calls :meth:`wake` on it."""
+        self.engine._block(self)
+
+    def wake(self, at_time: Optional[float] = None) -> None:
+        """Make this (blocked) rank runnable again.
+
+        ``at_time`` advances the woken rank's clock, modelling the time at
+        which the unblocking event (message arrival, lock grant) occurs.
+        Must be called by the currently running rank (or engine teardown).
+        """
+        if at_time is not None:
+            self.advance_to(at_time)
+        if self.state is ProcState.BLOCKED:
+            self.state = ProcState.READY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Proc rank={self.rank} t={self.clock:.6f} {self.state.value}>"
+
+
+class Engine:
+    """Owns the virtual processors and enforces deterministic scheduling."""
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.nprocs = nprocs
+        self.procs: list[Proc] = [Proc(self, r) for r in range(nprocs)]
+        self._mutex = threading.Lock()  # guards state transitions
+        self._failure: Optional[RankFailedError] = None
+        self._running = False
+        self.context_switches = 0
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: Optional[dict] = None,
+    ) -> list[Any]:
+        """Execute ``fn(proc, *args, **kwargs)`` on every rank.
+
+        Returns the list of per-rank return values, indexed by rank.  If any
+        rank raises, a :class:`RankFailedError` chaining the original
+        exception is raised after all threads have been stopped.
+        """
+        if self._running:
+            raise NotRunningError("engine is already running")
+        kwargs = kwargs or {}
+        self._running = True
+        threads = []
+        for proc in self.procs:
+            proc.state = ProcState.READY
+            t = threading.Thread(
+                target=self._thread_main,
+                args=(proc, fn, args, kwargs),
+                name=f"sim-rank-{proc.rank}",
+                daemon=True,
+            )
+            threads.append(t)
+        # Start every thread; each immediately parks on its event, except the
+        # one we hand the baton to.
+        for t in threads:
+            t.start()
+        self.procs[0]._go.set()
+        for t in threads:
+            t.join()
+        self._running = False
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            raise failure
+        return [p.result for p in self.procs]
+
+    @property
+    def max_clock(self) -> float:
+        """Largest virtual clock across ranks (the simulation makespan)."""
+        return max(p.clock for p in self.procs)
+
+    # -- thread body -------------------------------------------------------
+
+    def _thread_main(self, proc: Proc, fn, args, kwargs) -> None:
+        _tls.proc = proc
+        proc._go.wait()  # wait for the baton
+        proc._go.clear()
+        if self._failure is not None:  # aborted before we ever ran
+            return
+        proc.state = ProcState.RUNNING
+        try:
+            proc.result = fn(proc, *args, **kwargs)
+            proc.state = ProcState.DONE
+        except _Abort:
+            proc.state = ProcState.FAILED
+            return
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            proc.state = ProcState.FAILED
+            proc.error = exc
+            failure = RankFailedError(proc.rank)
+            failure.__cause__ = exc
+            with self._mutex:
+                if self._failure is None:
+                    self._failure = failure
+            self._abort_others(proc)
+            return
+        self._hand_off(proc)
+
+    # -- scheduler internals -------------------------------------------------
+
+    def _runnable(self, exclude: Proc) -> Optional[Proc]:
+        """The READY rank with minimal ``(clock, rank)``, or ``None``."""
+        best = None
+        for p in self.procs:
+            if p is exclude or p.state is not ProcState.READY:
+                continue
+            if best is None or (p.clock, p.rank) < (best.clock, best.rank):
+                best = p
+        return best
+
+    def _schedule_point(self, proc: Proc) -> None:
+        while True:
+            if self._failure is not None:
+                raise _Abort()
+            nxt = self._runnable(exclude=proc)
+            if nxt is None or (proc.clock, proc.rank) <= (nxt.clock, nxt.rank):
+                return
+            self._switch(proc, nxt, new_state=ProcState.READY)
+
+    def _block(self, proc: Proc) -> None:
+        nxt = self._runnable(exclude=proc)
+        if nxt is None:
+            # Nobody can wake us: classic deadlock.
+            dead = DeadlockError(
+                f"rank {proc.rank} blocked at t={proc.clock:.6f} with no "
+                f"runnable rank left"
+            )
+            failure = RankFailedError(proc.rank)
+            failure.__cause__ = dead
+            with self._mutex:
+                if self._failure is None:
+                    self._failure = failure
+            proc.error = dead
+            self._abort_others(proc)
+            raise _Abort()
+        self._switch(proc, nxt, new_state=ProcState.BLOCKED)
+        if self._failure is not None:
+            raise _Abort()
+
+    def _switch(self, from_proc: Proc, to_proc: Proc, new_state: ProcState) -> None:
+        """Transfer the execution baton from ``from_proc`` to ``to_proc``."""
+        self.context_switches += 1
+        from_proc.state = new_state
+        to_proc.state = ProcState.RUNNING
+        to_proc._go.set()
+        from_proc._go.wait()
+        from_proc._go.clear()
+        from_proc.state = ProcState.RUNNING
+
+    def _hand_off(self, proc: Proc) -> None:
+        """Called when ``proc`` finishes: pass the baton to the next rank."""
+        nxt = self._runnable(exclude=proc)
+        if nxt is not None:
+            nxt.state = ProcState.RUNNING
+            nxt._go.set()
+        # If no READY rank remains, either all are DONE (normal termination)
+        # or the remaining BLOCKED ranks are deadlocked.
+        elif any(p.state is ProcState.BLOCKED for p in self.procs):
+            victim = next(p for p in self.procs if p.state is ProcState.BLOCKED)
+            dead = DeadlockError(
+                f"ranks {[p.rank for p in self.procs if p.state is ProcState.BLOCKED]} "
+                f"remain blocked after rank {proc.rank} finished"
+            )
+            failure = RankFailedError(victim.rank)
+            failure.__cause__ = dead
+            with self._mutex:
+                if self._failure is None:
+                    self._failure = failure
+            self._abort_others(proc)
+
+    def _abort_others(self, proc: Proc) -> None:
+        """Release every parked thread so it can observe the failure and exit."""
+        for p in self.procs:
+            if p is not proc and p.state in (ProcState.READY, ProcState.BLOCKED):
+                p._go.set()
+
+
+class _Abort(BaseException):
+    """Internal: unwinds a rank thread after another rank failed."""

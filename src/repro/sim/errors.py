@@ -1,0 +1,31 @@
+"""Exception hierarchy for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-engine errors."""
+
+
+class DeadlockError(SimError):
+    """Raised when every live rank is blocked and none can make progress.
+
+    This corresponds to a real MPI deadlock (e.g. two ranks both calling a
+    blocking receive on each other without a matching send).
+    """
+
+
+class RankFailedError(SimError):
+    """Raised by :meth:`Engine.run` when one of the SPMD ranks raised.
+
+    The original exception is available as ``__cause__`` and the failing
+    rank as :attr:`rank`.
+    """
+
+    def __init__(self, rank: int, message: str = ""):
+        super().__init__(message or f"rank {rank} raised an exception")
+        self.rank = rank
+
+
+class NotRunningError(SimError):
+    """A simulation primitive was called outside of :meth:`Engine.run`."""

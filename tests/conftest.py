@@ -1,0 +1,29 @@
+"""Shared fixtures: small machines for SPMD tests."""
+
+import pytest
+
+from repro.pfs import FileSystem
+from repro.topology import Machine, Network
+
+
+def make_machine(nprocs=4, ppn=1, latency=1e-6, bandwidth=1e9, fs=None):
+    """A fast, almost-free machine for functional (non-timing) tests."""
+    nodes = (nprocs + ppn - 1) // ppn
+    m = Machine(
+        name=f"test-{nprocs}x",
+        nprocs=nprocs,
+        procs_per_node=ppn,
+        network=Network(nodes, latency=latency, bandwidth=bandwidth),
+    )
+    m.attach_fs(fs if fs is not None else FileSystem())
+    return m
+
+
+@pytest.fixture
+def machine4():
+    return make_machine(4)
+
+
+@pytest.fixture
+def machine8():
+    return make_machine(8)

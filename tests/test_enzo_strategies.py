@@ -1,0 +1,236 @@
+"""Integration tests: checkpoint write + restart round-trips per strategy."""
+
+import numpy as np
+import pytest
+
+from repro.amr import make_initial_conditions
+from repro.enzo import (
+    HDF4Strategy,
+    HDF5Strategy,
+    MPIIOStrategy,
+    RankState,
+    hierarchies_equivalent,
+)
+from repro.mpi import run_spmd
+
+from .conftest import make_machine
+
+STRATEGIES = {
+    "hdf4": HDF4Strategy,
+    "mpi-io": MPIIOStrategy,
+    "hdf5": HDF5Strategy,
+}
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return make_initial_conditions(
+        (16, 16, 16), seed=7, pre_refine=1, particles_per_cell=0.5
+    )
+
+
+def dump_and_restart(hierarchy, strategy_cls, nprocs, restart_procs=None):
+    """Write a checkpoint on ``nprocs`` ranks, read it on ``restart_procs``."""
+    restart_procs = restart_procs or nprocs
+    write_machine = make_machine(nprocs)
+
+    def write_program(comm):
+        state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+        strategy = strategy_cls()
+        return strategy.write_checkpoint(comm, state, "ckpt")
+
+    wres = run_spmd(write_machine, write_program)
+
+    read_machine = make_machine(restart_procs, fs=write_machine.fs)
+
+    def read_program(comm):
+        strategy = strategy_cls()
+        state, stats = strategy.read_checkpoint(comm, "ckpt")
+        return state, stats
+
+    rres = run_spmd(read_machine, read_program)
+    states = [r[0] for r in rres.results]
+    return wres, rres, RankState.collect(states)
+
+
+@pytest.mark.parametrize("name", list(STRATEGIES))
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_checkpoint_roundtrip(hierarchy, name, nprocs):
+    _, _, rebuilt = dump_and_restart(hierarchy, STRATEGIES[name], nprocs)
+    assert hierarchies_equivalent(rebuilt, hierarchy)
+
+
+@pytest.mark.parametrize("name", list(STRATEGIES))
+def test_restart_at_different_proc_count(hierarchy, name):
+    """Write with 4 ranks, restart with 2 and with 6."""
+    for restart_procs in (2, 6):
+        _, _, rebuilt = dump_and_restart(
+            hierarchy, STRATEGIES[name], 4, restart_procs
+        )
+        assert hierarchies_equivalent(rebuilt, hierarchy)
+
+
+def test_cross_strategy_checkpoints_agree(hierarchy):
+    """A checkpoint written by any strategy restores the same hierarchy."""
+    _, _, via_mpiio = dump_and_restart(hierarchy, MPIIOStrategy, 4)
+    _, _, via_hdf4 = dump_and_restart(hierarchy, HDF4Strategy, 2)
+    _, _, via_hdf5 = dump_and_restart(hierarchy, HDF5Strategy, 3)
+    assert hierarchies_equivalent(via_mpiio, via_hdf4)
+    assert hierarchies_equivalent(via_mpiio, via_hdf5)
+
+
+@pytest.mark.parametrize("name", list(STRATEGIES))
+def test_write_stats_structure(hierarchy, name):
+    wres, rres, _ = dump_and_restart(hierarchy, STRATEGIES[name], 2)
+    for stats in wres.results:
+        assert stats.operation == "write"
+        assert stats.elapsed > 0
+        assert set(stats.phases) >= {"top_fields", "top_particles", "subgrids"} or (
+            name == "hdf4"
+        )
+        assert stats.bytes_moved >= 0
+    read_stats = [r[1] for r in rres.results]
+    assert all(s.operation == "read" for s in read_stats)
+    # Total bytes written across ranks equals the hierarchy data volume.
+    total_written = sum(s.bytes_moved for s in wres.results)
+    assert total_written == hierarchy.total_data_nbytes()
+
+
+def test_hdf4_gathers_to_rank0(hierarchy):
+    """The HDF4 baseline funnels the top grid through processor 0."""
+    nprocs = 4
+    machine = make_machine(nprocs)
+
+    def program(comm):
+        state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+        HDF4Strategy().write_checkpoint(comm, state, "ckpt")
+        return None
+
+    run_spmd(machine, program)
+    # All messages funnelled into node 0's ingress during the gather.
+    assert machine.network.ingress[0].requests > 0
+
+
+def test_mpiio_uses_collective_io(hierarchy):
+    """MPI-IO strategy produces far fewer, larger fs writes than naive."""
+    nprocs = 4
+    machine = make_machine(nprocs)
+
+    def program(comm):
+        state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+        MPIIOStrategy().write_checkpoint(comm, state, "ckpt")
+        return None
+
+    run_spmd(machine, program)
+    writes = machine.fs.counters.writes
+    bytes_written = machine.fs.counters.bytes_written
+    # Naively, each rank would write one request per subarray row: for this
+    # 16^3 grid over a 2x2x1 processor grid that is an 8x16-double row =
+    # 128 bytes.  Two-phase I/O + sieving must do far better on average.
+    assert bytes_written / writes > 16 * 128
+
+
+def test_checkpoint_files_differ_by_strategy(hierarchy):
+    """HDF4 makes one file per grid; the others one shared file + sidecar."""
+    _, _, _ = dump_and_restart(hierarchy, HDF4Strategy, 2)
+
+    machine = make_machine(2)
+
+    def program(comm, cls):
+        state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+        cls().write_checkpoint(comm, state, "ckpt")
+        return None
+
+    run_spmd(machine, program, args=(MPIIOStrategy,))
+    files = machine.fs.store.listdir()
+    assert files == ["ckpt", "ckpt.hierarchy"]
+
+    machine4 = make_machine(2)
+    run_spmd(machine4, program, args=(HDF4Strategy,))
+    files4 = machine4.fs.store.listdir()
+    assert "ckpt.grid0000" in files4
+    assert len(files4) == 2 + len(hierarchy.subgrids())
+
+
+def test_deterministic_checkpoint_bytes(hierarchy):
+    """Two identical MPI-IO runs produce byte-identical checkpoint files."""
+    m1 = make_machine(4)
+    m2 = make_machine(4)
+
+    def program(comm):
+        state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+        MPIIOStrategy().write_checkpoint(comm, state, "ckpt")
+        return comm.clock
+
+    r1 = run_spmd(m1, program)
+    r2 = run_spmd(m2, program)
+    assert r1.results == r2.results  # identical virtual timings
+    f1 = m1.fs.store.open("ckpt")
+    f2 = m2.fs.store.open("ckpt")
+    assert f1.size == f2.size
+    assert f1.read(0, f1.size) == f2.read(0, f2.size)
+
+
+class TestValidation:
+    def test_cross_strategy_comparison_ok(self, hierarchy):
+        from repro.enzo import compare_checkpoints
+
+        m_a = make_machine(4)
+
+        def wa(comm):
+            st = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+            MPIIOStrategy().write_checkpoint(comm, st, "a")
+
+        run_spmd(m_a, wa)
+        m_b = make_machine(2)
+
+        def wb(comm):
+            st = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+            HDF4Strategy().write_checkpoint(comm, st, "b")
+
+        run_spmd(m_b, wb)
+        report = compare_checkpoints(
+            m_a.fs, MPIIOStrategy(), "a", m_b.fs, HDF4Strategy(), "b"
+        )
+        assert report.ok, report.summary()
+        assert report.compared > 0
+        assert "bit-identical" in report.summary()
+
+    def test_comparison_detects_corruption(self, hierarchy):
+        from repro.enzo import compare_checkpoints
+
+        m_a = make_machine(2)
+        m_b = make_machine(2)
+        for m, name in ((m_a, "a"), (m_b, "b")):
+            def w(comm, base=name):
+                st = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+                MPIIOStrategy().write_checkpoint(comm, st, base)
+
+            run_spmd(m, w)
+        # Flip one data byte in b's shared file (well past the header).
+        f = m_b.fs.store.open("b")
+        original = f.read(1000, 1)
+        f.write(1000, bytes([original[0] ^ 0xFF]))
+        report = compare_checkpoints(
+            m_a.fs, MPIIOStrategy(), "a", m_b.fs, MPIIOStrategy(), "b"
+        )
+        assert not report.ok
+        assert report.mismatched
+        assert "FAIL" in report.summary()
+
+    def test_read_checkpoint_arrays_keys(self, hierarchy):
+        from repro.enzo import read_checkpoint_arrays
+        from repro.enzo.layout import TOP
+
+        m = make_machine(2)
+
+        def w(comm):
+            st = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+            MPIIOStrategy().write_checkpoint(comm, st, "c")
+
+        run_spmd(m, w)
+        arrays = read_checkpoint_arrays(m.fs, MPIIOStrategy(), "c")
+        assert (TOP, "field", "density") in arrays
+        assert (TOP, "particle", "particle_id") in arrays
+        n_arrays_per_grid = 8 + 10
+        assert len(arrays) == len(hierarchy) * n_arrays_per_grid

@@ -1,0 +1,209 @@
+"""Tests for the future-work extensions: MDMS, per-file striping, shared
+file pointers, and history-driven hint suggestion."""
+
+import numpy as np
+import pytest
+
+from repro.core import MDMS, IOTrace, MetadataRegistry, PatternClass
+from repro.mpi import run_spmd
+from repro.mpiio import File, Hints
+from repro.pfs import FileSystem, StripedServerFS
+
+from .conftest import make_machine
+
+
+def make_registry():
+    reg = MetadataRegistry()
+    reg.register("top", "density", (32, 32, 32), np.float64,
+                 PatternClass.REGULAR_BLOCK)
+    reg.register("top", "particle/particle_id", (1000,), np.int64,
+                 PatternClass.IRREGULAR)
+    return reg
+
+
+def make_trace(sizes_writes=(1024, 2048, 4096), sizes_reads=(8192,)):
+    t = IOTrace()
+    clock = 0.0
+    for s in sizes_writes:
+        t.record(op="write", path="f", offset=int(clock * 1000), nbytes=s,
+                 start=clock, end=clock + 0.1, node=0)
+        clock += 0.2
+    for s in sizes_reads:
+        t.record(op="read", path="f", offset=0, nbytes=s, start=clock,
+                 end=clock + 0.1, node=1)
+        clock += 0.2
+    return t
+
+
+class TestMDMS:
+    def test_register_and_advise(self):
+        fs = FileSystem()
+        mdms = MDMS(fs)
+        plan = mdms.register_application("enzo", make_registry(),
+                                         stripe_size=65536)
+        assert plan.plan_for("density").method == "collective_subarray"
+        one = mdms.advise("enzo", "top", "particle/particle_id")
+        assert one.method == "sort_blockwise"
+        assert mdms.applications() == ["enzo"]
+
+    def test_persistence_across_instances(self):
+        fs = FileSystem()
+        mdms = MDMS(fs)
+        mdms.register_application("enzo", make_registry(), stripe_size=4096)
+        mdms.record_run("enzo", make_trace())
+        # A new MDMS over the same (simulated) file system sees everything.
+        again = MDMS(fs)
+        assert again.applications() == ["enzo"]
+        assert again.history("enzo").runs == 1
+        assert again.advise("enzo").align_to_stripe == 4096
+        md = again.registry("enzo").lookup("top", "density")
+        assert md.pattern is PatternClass.REGULAR_BLOCK
+
+    def test_history_folding(self):
+        fs = FileSystem()
+        mdms = MDMS(fs)
+        mdms.register_application("enzo", make_registry())
+        mdms.record_run("enzo", make_trace())
+        mdms.record_run("enzo", make_trace(sizes_writes=(100,) * 5))
+        h = mdms.history("enzo")
+        assert h.runs == 2
+        assert h.total_write_requests == 8
+        assert h.median_write_size == 100  # latest run's median
+
+    def test_suggest_hints_from_history(self):
+        fs = FileSystem()
+        mdms = MDMS(fs)
+        mdms.register_application("enzo", make_registry(), stripe_size=8192)
+        mdms.record_run("enzo", make_trace())
+        hints = mdms.suggest_hints("enzo")
+        assert hints["cb_buffer_size"] >= 1 << 20
+        assert hints["cb_align"] == 8192
+        assert hints["ds_write"] is True  # strided writes observed
+
+    def test_unknown_application(self):
+        mdms = MDMS(FileSystem())
+        with pytest.raises(KeyError):
+            mdms.advise("nope")
+
+    def test_db_file_really_exists(self):
+        fs = FileSystem()
+        mdms = MDMS(fs, db_path="meta/mdms.db")
+        mdms.register_application("enzo", make_registry())
+        assert fs.exists("meta/mdms.db")
+        assert fs.file_size("meta/mdms.db") > 0
+
+
+class TestPerFileStriping:
+    def make_fs(self, **kw):
+        defaults = dict(
+            nservers=4, stripe_size=100, disk_bandwidth=1000.0, seek_time=0.0
+        )
+        defaults.update(kw)
+        return StripedServerFS("fs", **defaults)
+
+    def test_layout_override(self):
+        fs = self.make_fs()
+        fs.set_file_striping("special", 400)
+        assert fs.layout_for("special").stripe_size == 400
+        assert fs.layout_for("other").stripe_size == 100
+
+    def test_data_unaffected_by_layout(self):
+        fs = self.make_fs()
+        fs.set_file_striping("f", 7)
+        fs.create("f")
+        payload = bytes(range(200))
+        fs.write("f", 13, payload)
+        data, _ = fs.read("f", 13, 200)
+        assert data == payload
+
+    def test_large_stripe_uses_one_server(self):
+        fs = self.make_fs()
+        fs.set_file_striping("big", 10_000)
+        fs.create("big")
+        fs.write("big", 0, b"x" * 400)
+        # All on server 0 -> serial: 0.4 s, vs 0.1 s with default striping.
+        assert fs.servers[0].disk.busy_time == pytest.approx(0.4)
+
+    def test_striping_unit_hint_applied_on_create(self):
+        fs = self.make_fs()
+        m = make_machine(2, fs=fs)
+
+        def program(comm):
+            fh = File.open(comm, "hinted", "w",
+                           hints=Hints(striping_unit=12345))
+            fh.write_at_all(0, b"hello")
+            fh.close()
+            return None
+
+        run_spmd(m, program)
+        assert fs.layout_for("hinted").stripe_size == 12345
+
+
+class TestSharedFilePointer:
+    def test_writes_are_disjoint_and_cover(self):
+        m = make_machine(4)
+
+        def program(comm):
+            fh = File.open(comm, "log", "w")
+            payload = bytes([65 + comm.rank]) * (comm.rank + 1)
+            fh.write_shared(payload)
+            fh.close()
+            return len(payload)
+
+        res = run_spmd(m, program)
+        total = sum(res.results)
+        raw = m.fs.store.open("log").read(0, total)
+        # Every rank's bytes appear exactly once, contiguously.
+        for rank in range(4):
+            marker = bytes([65 + rank]) * (rank + 1)
+            assert raw.count(bytes([65 + rank])) == rank + 1
+            assert marker in raw
+
+    def test_shared_pointer_orders_deterministically(self):
+        def run_once():
+            m = make_machine(3, latency=1e-4)
+
+            def program(comm):
+                comm.compute(0.001 * (3 - comm.rank))  # reverse arrival order
+                fh = File.open(comm, "log", "w")
+                fh.write_shared(bytes([48 + comm.rank]) * 4)
+                fh.close()
+                return None
+
+            run_spmd(m, program)
+            return m.fs.store.open("log").read(0, 12)
+
+        assert run_once() == run_once()
+
+    def test_read_shared_consumes_in_order(self):
+        m = make_machine(2)
+
+        def program(comm):
+            if comm.rank == 0:
+                fh = File.open(comm, "f", "w")
+                fh.write_at(0, bytes(range(16)))
+                fh.close()
+            else:
+                File.open(comm, "f", "rw").close()
+            fh = File.open(comm, "f", "r")
+            a = fh.read_shared(8)
+            fh.close()
+            return a
+
+        res = run_spmd(m, program)
+        got = sorted(res.results)
+        assert got == [bytes(range(8)), bytes(range(8, 16))]
+
+    def test_partial_etype_rejected(self):
+        from repro.mpi.datatypes import FLOAT64
+        from repro.sim import RankFailedError
+
+        m = make_machine(1)
+
+        def program(comm):
+            fh = File.open(comm, "f", "w")
+            fh.set_view(0, FLOAT64)
+            fh.write_shared(b"123")  # 3 bytes is not a whole float64
+
+        with pytest.raises(RankFailedError):
+            run_spmd(m, program)

@@ -1,0 +1,303 @@
+"""HDF5 library tests: dataspaces, hyperslabs, parallel dataset I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdf5 import Dataspace, H5File, Hyperslab
+from repro.mpi import run_spmd
+
+from .conftest import make_machine
+
+
+class TestDataspace:
+    def test_basic(self):
+        s = Dataspace((4, 5))
+        assert s.rank == 2
+        assert s.npoints == 20
+        assert s.select_all().selection_shape == (4, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataspace(())
+        with pytest.raises(ValueError):
+            Dataspace((-1,))
+
+
+class TestHyperslab:
+    def test_simple_block_runs(self):
+        space = Dataspace((4, 6))
+        sel = Hyperslab(start=(1, 2), count=(2, 3))
+        # stride == block == 1 makes the last axis dense: one run per row.
+        starts, run_len = sel.file_runs(space)
+        assert run_len == 3
+        assert len(starts) == 2
+        assert sel.selection_shape == (2, 3)
+
+    def test_dense_last_axis_merges_into_rows(self):
+        space = Dataspace((4, 6))
+        sel = Hyperslab(start=(1, 2), count=(2, 3))
+        starts, run_len = sel.file_runs(space)
+        assert run_len == 3
+        np.testing.assert_array_equal(starts, [1 * 6 + 2, 2 * 6 + 2])
+
+    def test_strided_selection(self):
+        space = Dataspace((1, 10))
+        sel = Hyperslab(start=(0, 0), count=(1, 3), stride=(1, 4), block=(1, 2))
+        starts, run_len = sel.file_runs(space)
+        assert run_len == 2
+        np.testing.assert_array_equal(starts, [0, 4, 8])
+        assert sel.selection_shape == (1, 6)
+
+    def test_3d_block(self):
+        space = Dataspace((4, 4, 4))
+        sel = Hyperslab(start=(1, 1, 0), count=(2, 2, 4))
+        starts, run_len = sel.file_runs(space)
+        assert run_len == 4
+        assert len(starts) == 4
+
+    def test_out_of_bounds_rejected(self):
+        space = Dataspace((4, 4))
+        with pytest.raises(ValueError):
+            Hyperslab(start=(0, 2), count=(1, 3)).file_runs(space)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperslab(start=(0,), count=(1,)).file_runs(Dataspace((4, 4)))
+
+    def test_overlapping_block_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperslab(start=(0,), count=(2,), stride=(2,), block=(3,))
+
+    def test_empty_selection(self):
+        starts, run_len = Hyperslab(start=(0,), count=(0,)).file_runs(
+            Dataspace((4,))
+        )
+        assert len(starts) == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 8)),
+    data=st.data(),
+)
+def test_property_hyperslab_runs_match_numpy(shape, data):
+    """file_runs covers exactly the elements numpy fancy indexing selects."""
+    space = Dataspace(shape)
+    start, count, stride, block = [], [], [], []
+    for n in shape:
+        b = data.draw(st.integers(1, max(1, n)))
+        sr = data.draw(st.integers(b, max(b, n)))
+        max_c = (n - b) // sr + 1 if n >= b else 0
+        c = data.draw(st.integers(0, max_c))
+        st_max = n - ((c - 1) * sr + b) if c > 0 else n - 1
+        s = data.draw(st.integers(0, max(0, st_max)))
+        start.append(s)
+        count.append(c)
+        stride.append(sr)
+        block.append(b)
+    sel = Hyperslab(tuple(start), tuple(count), tuple(stride), tuple(block))
+    starts, run_len = sel.file_runs(space)
+    got = set()
+    for s in starts:
+        got.update(range(int(s), int(s) + run_len))
+    mask = np.zeros(shape, dtype=bool)
+    idx0 = [
+        [s + i * sr + j for i in range(c) for j in range(b)]
+        for s, c, sr, b in zip(start, count, stride, block)
+    ]
+    for i in idx0[0]:
+        for j in idx0[1]:
+            mask[i, j] = True
+    expect = set(np.flatnonzero(mask.ravel()).tolist())
+    assert got == expect
+    assert len(starts) * run_len == sel.npoints
+
+
+class TestH5File:
+    def test_serial_roundtrip(self):
+        def program(comm):
+            f = H5File.create(comm, "f", driver="sec2")
+            a = np.arange(60, dtype=np.float64).reshape(3, 4, 5)
+            d = f.create_dataset("density", a.shape, a.dtype)
+            d.write(a, collective=False)
+            d.close()
+            f.close()
+            f = H5File.open(comm, "f", driver="sec2")
+            got = f.open_dataset("density").read(collective=False)
+            f.close()
+            np.testing.assert_array_equal(a, got)
+            return True
+
+        assert run_spmd(make_machine(1), program).results[0]
+
+    @pytest.mark.parametrize("nprocs", [2, 4])
+    def test_parallel_hyperslab_write_roundtrip(self, nprocs):
+        shape = (8, 6, 5)
+
+        def program(comm):
+            full = np.arange(np.prod(shape), dtype=np.float64).reshape(shape)
+            f = H5File.create(comm, "f")
+            d = f.create_dataset("density", shape, np.float64)
+            # (Block, 1, 1) slabs along x.
+            per = shape[0] // comm.size
+            lo = comm.rank * per
+            n = per if comm.rank < comm.size - 1 else shape[0] - lo
+            sel = Hyperslab(start=(lo, 0, 0), count=(n,) + shape[1:])
+            d.write(np.ascontiguousarray(full[lo : lo + n]), sel)
+            d.close()
+            f.close()
+            f = H5File.open(comm, "f")
+            got = f.open_dataset("density").read(sel)
+            f.close()
+            np.testing.assert_array_equal(got, full[lo : lo + n])
+            return True
+
+        assert all(run_spmd(make_machine(nprocs), program).results)
+
+    def test_multiple_datasets_and_order(self):
+        def program(comm):
+            f = H5File.create(comm, "f")
+            for name, shape in [("a", (4,)), ("b", (2, 2)), ("c", (3,))]:
+                d = f.create_dataset(name, shape, np.int32)
+                d.write(np.zeros(shape, np.int32))
+                d.close()
+            names = f.datasets()
+            f.close()
+            f = H5File.open(comm, "f")
+            names2 = f.datasets()
+            assert "a" in f and "zz" not in f
+            f.close()
+            return names, names2
+
+        res = run_spmd(make_machine(2), program)
+        assert res.results[0] == (["a", "b", "c"], ["a", "b", "c"])
+
+    def test_attributes_roundtrip_and_rank0_writes(self):
+        m = make_machine(4)
+
+        def program(comm):
+            f = H5File.create(comm, "f")
+            d = f.create_dataset("x", (4,), np.float64)
+            d.write(np.zeros(4))
+            d.write_attr("units", "g/cm^3")
+            d.write_attr("level", 3)
+            d.close()
+            f.close()
+            f = H5File.open(comm, "f")
+            attrs = f.open_dataset("x").attrs
+            f.close()
+            return attrs
+
+        res = run_spmd(m, program)
+        assert all(a == {"units": "g/cm^3", "level": 3} for a in res.results)
+
+    def test_data_is_misaligned_by_metadata(self):
+        """Paper overhead #2: data never starts on a large aligned boundary."""
+        from repro.hdf5.format import HEADER_CAPACITY, SUPERBLOCK_SIZE
+
+        def program(comm):
+            f = H5File.create(comm, "f", driver="sec2")
+            d = f.create_dataset("x", (1024,), np.float64)
+            off = d.header.data_offset
+            d.write(np.zeros(1024), collective=False)
+            d.close()
+            f.close()
+            return off
+
+        off = run_spmd(make_machine(1), program).results[0]
+        assert off == SUPERBLOCK_SIZE + HEADER_CAPACITY
+        assert off % 4096 != 0
+
+    def test_create_close_synchronise(self):
+        """Paper overhead #1: create/close are collective barriers."""
+        m = make_machine(4, latency=1e-3)
+
+        def program(comm):
+            comm.compute(float(comm.rank))  # skewed arrival
+            f = H5File.create(comm, "f")
+            d = f.create_dataset("x", (4,), np.float64)
+            t_after_create = comm.clock
+            d.close()
+            f.close()
+            return t_after_create
+
+        res = run_spmd(m, program)
+        # All ranks left create at >= the slowest rank's arrival time.
+        assert min(res.results) >= 3.0
+
+    def test_buffer_validation(self):
+        def program(comm):
+            f = H5File.create(comm, "f", driver="sec2")
+            d = f.create_dataset("x", (4, 4), np.float64)
+            with pytest.raises(ValueError):
+                d.write(np.zeros((3, 3)), collective=False)
+            with pytest.raises(TypeError):
+                d.write(np.zeros((4, 4), np.int32).view(np.int32), collective=False)
+            f.close()
+            return True
+
+        assert run_spmd(make_machine(1), program).results[0]
+
+    def test_duplicate_dataset_rejected(self):
+        def program(comm):
+            f = H5File.create(comm, "f", driver="sec2")
+            f.create_dataset("x", (1,), np.float64)
+            with pytest.raises(ValueError):
+                f.create_dataset("x", (1,), np.float64)
+            f.close()
+            return True
+
+        assert run_spmd(make_machine(1), program).results[0]
+
+    def test_missing_dataset_raises(self):
+        def program(comm):
+            f = H5File.create(comm, "f", driver="sec2")
+            f.close()
+            f = H5File.open(comm, "f", driver="sec2")
+            with pytest.raises(KeyError):
+                f.open_dataset("nope")
+            f.close()
+            return True
+
+        assert run_spmd(make_machine(1), program).results[0]
+
+    def test_hyperslab_packing_cost_charged(self):
+        """Paper overhead #3: fine-grained selections cost CPU per run."""
+
+        def program(comm):
+            f = H5File.create(comm, "f", driver="sec2")
+            d = f.create_dataset("x", (64, 64), np.float64)
+            t0 = comm.clock
+            # Column selection: 64 runs.
+            d.write(
+                np.zeros((64, 1)),
+                Hyperslab(start=(0, 0), count=(64, 1)),
+                collective=False,
+            )
+            t_col = comm.clock - t0
+            t0 = comm.clock
+            # Row selection: 1 run, same byte count.
+            d.write(
+                np.zeros((1, 64)),
+                Hyperslab(start=(0, 0), count=(1, 64)),
+                collective=False,
+            )
+            t_row = comm.clock - t0
+            f.close()
+            return t_col, t_row
+
+        t_col, t_row = run_spmd(make_machine(1), program).results[0]
+        assert t_col > t_row
+
+
+def test_unsupported_driver_and_mode():
+    def program(comm):
+        with pytest.raises(ValueError):
+            H5File.open(comm, "f", mode="a")
+        with pytest.raises(ValueError):
+            H5File.create(comm, "f", driver="core")
+        return True
+
+    assert run_spmd(make_machine(1), program).results[0]

@@ -1,0 +1,257 @@
+"""Collective-operation tests across communicator sizes (incl. non-powers of 2)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import collectives as coll
+from repro.mpi import run_spmd
+
+from .conftest import make_machine
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_barrier_completes(size):
+    m = make_machine(size)
+
+    def program(comm):
+        coll.barrier(comm)
+        return True
+
+    assert run_spmd(m, program).results == [True] * size
+
+
+def test_barrier_synchronises_clocks():
+    m = make_machine(4, latency=1e-3)
+
+    def program(comm):
+        comm.compute(float(comm.rank))  # rank 3 is 3s behind rank 0
+        coll.barrier(comm)
+        return comm.clock
+
+    res = run_spmd(m, program)
+    assert all(t >= 3.0 for t in res.results)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast(size, root):
+    root = size - 1 if root == "last" else 0
+    m = make_machine(size)
+
+    def program(comm):
+        obj = {"payload": 42} if comm.rank == root else None
+        return coll.bcast(comm, obj, root=root)
+
+    res = run_spmd(m, program)
+    assert res.results == [{"payload": 42}] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, "mid"])
+def test_gather(size, root):
+    root = size // 2 if root == "mid" else 0
+    m = make_machine(size)
+
+    def program(comm):
+        return coll.gather(comm, comm.rank * 2, root=root)
+
+    res = run_spmd(m, program)
+    for r, out in enumerate(res.results):
+        if r == root:
+            assert out == [i * 2 for i in range(size)]
+        else:
+            assert out is None
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_scatter(size, root):
+    root = size - 1 if root == "last" else 0
+    m = make_machine(size)
+
+    def program(comm):
+        objs = [f"item{r}" for r in range(comm.size)] if comm.rank == root else None
+        return coll.scatter(comm, objs, root=root)
+
+    res = run_spmd(m, program)
+    assert res.results == [f"item{r}" for r in range(size)]
+
+
+def test_scatter_gather_roundtrip():
+    m = make_machine(5)
+
+    def program(comm):
+        objs = None
+        if comm.rank == 0:
+            objs = [np.full(3, r) for r in range(comm.size)]
+        mine = coll.scatter(comm, objs, root=0)
+        back = coll.gather(comm, mine, root=0)
+        if comm.rank == 0:
+            return [a.tolist() for a in back]
+        return None
+
+    res = run_spmd(m, program)
+    assert res.results[0] == [[r] * 3 for r in range(5)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allgather(size):
+    m = make_machine(size)
+
+    def program(comm):
+        return coll.allgather(comm, comm.rank**2)
+
+    res = run_spmd(m, program)
+    expected = [r * r for r in range(size)]
+    assert res.results == [expected] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_alltoall(size):
+    m = make_machine(size)
+
+    def program(comm):
+        objs = [(comm.rank, d) for d in range(comm.size)]
+        return coll.alltoall(comm, objs)
+
+    res = run_spmd(m, program)
+    for r, out in enumerate(res.results):
+        assert out == [(s, r) for s in range(size)]
+
+
+def test_alltoall_numpy_payloads():
+    m = make_machine(4)
+
+    def program(comm):
+        objs = [np.full(2, comm.rank * 10 + d) for d in range(comm.size)]
+        got = coll.alltoall(comm, objs)
+        return [a.tolist() for a in got]
+
+    res = run_spmd(m, program)
+    for r, out in enumerate(res.results):
+        assert out == [[s * 10 + r] * 2 for s in range(4)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_reduce_sum(size):
+    m = make_machine(size)
+
+    def program(comm):
+        return coll.reduce(comm, comm.rank + 1, op=coll.SUM, root=0)
+
+    res = run_spmd(m, program)
+    assert res.results[0] == size * (size + 1) // 2
+
+
+@pytest.mark.parametrize("op,expected", [(coll.MAX, 7), (coll.MIN, 0), (coll.SUM, 28)])
+def test_allreduce_ops(op, expected):
+    m = make_machine(8)
+
+    def program(comm):
+        return coll.allreduce(comm, comm.rank, op=op)
+
+    res = run_spmd(m, program)
+    assert res.results == [expected] * 8
+
+
+def test_allreduce_numpy_arrays():
+    m = make_machine(4)
+
+    def program(comm):
+        return coll.allreduce(comm, np.array([comm.rank, 1.0]))
+
+    res = run_spmd(m, program)
+    for out in res.results:
+        np.testing.assert_allclose(out, [6.0, 4.0])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_exscan_sum(size):
+    m = make_machine(size)
+
+    def program(comm):
+        return coll.exscan(comm, comm.rank + 1)
+
+    res = run_spmd(m, program)
+    assert res.results == [sum(range(1, r + 1)) for r in range(size)]
+
+
+def test_exscan_custom_op():
+    m = make_machine(4)
+
+    def program(comm):
+        return coll.exscan(comm, comm.rank + 1, op=coll.MAX)
+
+    res = run_spmd(m, program)
+    assert res.results == [None, 1, 2, 3]
+
+
+def test_split_into_two_groups():
+    m = make_machine(6)
+
+    def program(comm):
+        color = comm.rank % 2
+        sub = comm.split(color)
+        local = coll.allgather(sub, comm.rank)
+        return (sub.rank, sub.size, local)
+
+    res = run_spmd(m, program)
+    for world_rank, (sub_rank, sub_size, members) in enumerate(res.results):
+        assert sub_size == 3
+        assert members == [r for r in range(6) if r % 2 == world_rank % 2]
+        assert members[sub_rank] == world_rank
+
+
+def test_split_with_none_color():
+    m = make_machine(4)
+
+    def program(comm):
+        sub = comm.split(0 if comm.rank < 2 else None)
+        if sub is None:
+            return None
+        return coll.allgather(sub, comm.rank)
+
+    res = run_spmd(m, program)
+    assert res.results == [[0, 1], [0, 1], None, None]
+
+
+def test_split_key_reorders_ranks():
+    m = make_machine(4)
+
+    def program(comm):
+        sub = comm.split(0, key=-comm.rank)  # reverse order
+        return sub.rank
+
+    res = run_spmd(m, program)
+    assert res.results == [3, 2, 1, 0]
+
+
+def test_collectives_on_subcommunicator_do_not_crosstalk():
+    m = make_machine(4)
+
+    def program(comm):
+        sub = comm.split(comm.rank // 2)
+        a = coll.allreduce(sub, comm.rank)
+        b = coll.allreduce(comm, comm.rank)
+        return (a, b)
+
+    res = run_spmd(m, program)
+    assert res.results == [(1, 6), (1, 6), (5, 6), (5, 6)]
+
+
+def test_gather_scatter_large_numpy_volume():
+    m = make_machine(4)
+
+    def program(comm):
+        arr = np.full(10_000, comm.rank, dtype=np.float64)
+        parts = coll.gather(comm, arr, root=0)
+        if comm.rank == 0:
+            total = np.concatenate(parts)
+            assert total.shape == (40_000,)
+            return float(total.sum())
+        return None
+
+    res = run_spmd(m, program)
+    assert res.results[0] == pytest.approx(10_000 * (0 + 1 + 2 + 3))

@@ -1,0 +1,180 @@
+"""Point-to-point messaging tests."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, payload_nbytes, run_spmd
+from repro.sim import DeadlockError, RankFailedError
+
+from .conftest import make_machine
+
+
+def test_ring_send_recv(machine4):
+    def program(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        comm.send(comm.rank * 100, right, tag=7)
+        return comm.recv(left, tag=7)
+
+    res = run_spmd(machine4, program)
+    assert res.results == [300, 0, 100, 200]
+
+
+def test_numpy_payload_is_copied(machine4):
+    def program(comm):
+        if comm.rank == 0:
+            arr = np.arange(10)
+            comm.send(arr, 1)
+            arr[:] = -1  # mutation after send must not affect the message
+            return None
+        if comm.rank == 1:
+            got = comm.recv(0)
+            return got.tolist()
+        return None
+
+    res = run_spmd(machine4, program)
+    assert res.results[1] == list(range(10))
+
+
+def test_message_ordering_same_pair(machine4):
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                comm.send(i, 1, tag=3)
+        elif comm.rank == 1:
+            return [comm.recv(0, tag=3) for _ in range(5)]
+        return None
+
+    res = run_spmd(machine4, program)
+    assert res.results[1] == [0, 1, 2, 3, 4]
+
+
+def test_tag_selectivity(machine4):
+    def program(comm):
+        if comm.rank == 0:
+            comm.send("a", 1, tag=10)
+            comm.send("b", 1, tag=20)
+        elif comm.rank == 1:
+            second = comm.recv(0, tag=20)
+            first = comm.recv(0, tag=10)
+            return (first, second)
+        return None
+
+    res = run_spmd(machine4, program)
+    assert res.results[1] == ("a", "b")
+
+
+def test_any_source_any_tag(machine4):
+    def program(comm):
+        if comm.rank == 0:
+            got = [comm.recv(ANY_SOURCE, ANY_TAG) for _ in range(3)]
+            return sorted(got)
+        comm.send(comm.rank, 0, tag=comm.rank)
+        return None
+
+    res = run_spmd(machine4, program)
+    assert res.results[0] == [1, 2, 3]
+
+
+def test_recv_with_status(machine4):
+    def program(comm):
+        if comm.rank == 2:
+            comm.send("hello", 0, tag=9)
+        if comm.rank == 0:
+            obj, (src, tag) = comm.recv_with_status(ANY_SOURCE, ANY_TAG)
+            return (obj, src, tag)
+        return None
+
+    res = run_spmd(machine4, program)
+    assert res.results[0] == ("hello", 2, 9)
+
+
+def test_sendrecv_exchange(machine4):
+    def program(comm):
+        partner = comm.size - 1 - comm.rank
+        return comm.sendrecv(comm.rank, partner, 1, partner, 1)
+
+    res = run_spmd(machine4, program)
+    assert res.results == [3, 2, 1, 0]
+
+
+def test_transfer_advances_receiver_clock():
+    m = make_machine(2, latency=0.5, bandwidth=100.0)
+
+    def program(comm):
+        if comm.rank == 0:
+            comm.send(b"x" * 100, 1)  # 1s occupancy + 0.5 latency
+        else:
+            comm.recv(0)
+        return comm.clock
+
+    res = run_spmd(m, program)
+    # Receiver cannot see the message before ~1.5s.
+    assert res.results[1] >= 1.5
+
+
+def test_recv_without_send_deadlocks(machine4):
+    def program(comm):
+        if comm.rank == 0:
+            comm.recv(1, tag=5)
+        return None
+
+    with pytest.raises(RankFailedError) as ei:
+        run_spmd(machine4, program)
+    assert isinstance(ei.value.__cause__, DeadlockError)
+
+
+def test_send_validation(machine4):
+    def bad_dest(comm):
+        comm.send(1, 99)
+
+    with pytest.raises(RankFailedError):
+        run_spmd(machine4, bad_dest)
+
+    def bad_tag(comm):
+        comm.send(1, 0, tag=-3)
+
+    with pytest.raises(RankFailedError):
+        run_spmd(machine4, bad_tag)
+
+
+def test_payload_nbytes():
+    assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+    assert payload_nbytes(b"abc") == 3
+    assert payload_nbytes(bytearray(5)) == 5
+    assert payload_nbytes({"k": 1}) > 0
+
+
+def test_compute_charges_time(machine4):
+    def program(comm):
+        comm.compute(2.5)
+        return comm.clock
+
+    res = run_spmd(machine4, program)
+    assert all(t >= 2.5 for t in res.results)
+    assert res.elapsed >= 2.5
+
+
+def test_run_spmd_subset_of_machine():
+    m = make_machine(8)
+    res = run_spmd(m, lambda c: c.size, nprocs=3)
+    assert res.results == [3, 3, 3]
+    with pytest.raises(ValueError):
+        run_spmd(m, lambda c: None, nprocs=9)
+    with pytest.raises(ValueError):
+        run_spmd(m, lambda c: None, nprocs=0)
+
+
+def test_deterministic_timing(machine8):
+    def program(comm):
+        # Irregular communication pattern with data-dependent sizes.
+        if comm.rank % 2 == 0 and comm.rank + 1 < comm.size:
+            comm.send(np.zeros(comm.rank * 50 + 1), comm.rank + 1)
+        elif comm.rank % 2 == 1:
+            comm.recv(comm.rank - 1)
+        return comm.clock
+
+    r1 = run_spmd(make_machine(8, latency=1e-4, bandwidth=1e6), program)
+    r2 = run_spmd(make_machine(8, latency=1e-4, bandwidth=1e6), program)
+    assert r1.results == r2.results
+    assert r1.elapsed == r2.elapsed

@@ -1,0 +1,124 @@
+"""File-view mapping tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import BYTE, FLOAT64, INT32, Contiguous, Subarray, Vector
+from repro.mpiio import FileView
+
+
+class TestFileViewBasics:
+    def test_default_view_is_identity(self):
+        v = FileView()
+        assert v.is_contiguous
+        assert v.map_stream(0, 10) == [(0, 10)]
+        assert v.map_stream(5, 3) == [(5, 3)]
+
+    def test_displacement_shifts_everything(self):
+        v = FileView(disp=100)
+        assert v.map_stream(0, 10) == [(100, 10)]
+
+    def test_etype_units(self):
+        v = FileView(etype=FLOAT64)
+        assert v.byte_offset(3) == 24
+
+    def test_filetype_must_be_multiple_of_etype(self):
+        with pytest.raises(ValueError):
+            FileView(etype=FLOAT64, filetype=Contiguous(3, BYTE))
+
+    def test_negative_disp_rejected(self):
+        with pytest.raises(ValueError):
+            FileView(disp=-1)
+
+    def test_zero_length_maps_to_nothing(self):
+        v = FileView(filetype=Vector(2, 1, 2, FLOAT64), etype=FLOAT64)
+        assert v.map_stream(0, 0) == []
+
+
+class TestStridedViews:
+    def test_vector_view_tiles(self):
+        # Filetype: 2 blocks of 1 double, stride 2 doubles -> selects every
+        # other double; extent = 3 doubles (24 bytes), size = 16 bytes.
+        ft = Vector(2, 1, 2, FLOAT64)
+        v = FileView(etype=FLOAT64, filetype=ft)
+        assert v.map_stream(0, 8) == [(0, 8)]
+        assert v.map_stream(8, 8) == [(16, 8)]
+        # Crossing into the second tile: tile 1 starts at file byte 24.
+        assert v.map_stream(16, 8) == [(24, 8)]
+        # Tile 0's trailing segment [16, 24) abuts tile 1's leading segment
+        # [24, 32): they merge.
+        assert v.map_stream(0, 32) == [(0, 8), (16, 16), (40, 8)]
+
+    def test_subarray_view(self):
+        # 4x4 global ints, my column block is columns 2..4.
+        ft = Subarray((4, 4), (4, 2), (0, 2), INT32)
+        v = FileView(etype=INT32, filetype=ft)
+        segs = v.map_stream(0, ft.size)
+        assert segs == [(8, 8), (24, 8), (40, 8), (56, 8)]
+
+    def test_subarray_view_with_disp(self):
+        ft = Subarray((4, 4), (2, 4), (2, 0), INT32)  # last two rows
+        v = FileView(disp=1000, etype=INT32, filetype=ft)
+        assert v.map_stream(0, 32) == [(1032, 32)]
+
+    def test_partial_request_inside_tile(self):
+        ft = Vector(2, 2, 4, FLOAT64)  # [0,16) and [32,48) per 48-byte tile
+        v = FileView(etype=FLOAT64, filetype=ft)
+        # Ask for stream bytes [8, 24): second half of block 0 + first half
+        # of block 1.
+        assert v.map_stream(8, 16) == [(8, 8), (32, 8)]
+
+
+@st.composite
+def view_cases(draw):
+    count = draw(st.integers(1, 4))
+    blocklength = draw(st.integers(1, 3))
+    extra = draw(st.integers(0, 3))
+    ft = Vector(count, blocklength, blocklength + extra, INT32)
+    disp = draw(st.integers(0, 64))
+    offset = draw(st.integers(0, 40))
+    nbytes = draw(st.integers(0, 200)) * 4
+    return ft, disp, offset, nbytes
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=view_cases())
+def test_property_view_mapping_matches_reference(case):
+    """map_stream agrees with a brute-force byte-by-byte reference."""
+    ft, disp, offset_elems, nbytes = case
+    v = FileView(disp=disp, etype=INT32, filetype=ft)
+    stream_off = offset_elems * 4
+    got = v.map_stream(stream_off, nbytes)
+    # Reference: enumerate stream byte -> file byte via one-tile segments.
+    segs = ft.segments()
+    expect_bytes = []
+    for sb in range(stream_off, stream_off + nbytes):
+        tile, within = divmod(sb, ft.size)
+        pos = 0
+        for d, n in segs:
+            if within < pos + n:
+                expect_bytes.append(disp + tile * ft.extent + d + (within - pos))
+                break
+            pos += n
+    flat = [b for off, n in got for b in range(off, off + n)]
+    assert flat == expect_bytes
+    # Segments are merged: no two adjacent.
+    for (o1, n1), (o2, _) in zip(got, got[1:]):
+        assert o1 + n1 < o2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    nbytes=st.integers(0, 64),
+    offset=st.integers(0, 64),
+    disp=st.integers(0, 16),
+)
+def test_property_contiguous_view_is_identity_plus_disp(nbytes, offset, disp):
+    v = FileView(disp=disp)
+    got = v.map_stream(offset, nbytes)
+    if nbytes == 0:
+        assert got == []
+    else:
+        assert got == [(disp + offset, nbytes)]

@@ -1,0 +1,182 @@
+"""Data-sieving tests: correctness and request-count reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import run_spmd
+from repro.mpiio import ADIOFile, Hints, plan_extents, sieve_read, sieve_write
+from repro.pfs import FileSystem
+
+from .conftest import make_machine
+
+
+class TestPlanExtents:
+    def test_single_segment(self):
+        assert plan_extents([(10, 5)], 100, 0.0) == [(10, 5, 0, 1)]
+
+    def test_packing_within_buffer(self):
+        plans = plan_extents([(0, 4), (10, 4), (20, 4)], 100, 0.0)
+        assert plans == [(0, 24, 0, 3)]
+
+    def test_buffer_limit_splits(self):
+        plans = plan_extents([(0, 4), (10, 4), (20, 4)], 16, 0.0)
+        assert plans == [(0, 14, 0, 2), (20, 4, 2, 1)]
+
+    def test_density_threshold_splits(self):
+        # Two tiny segments 1000 bytes apart: density 8/1008 << 0.5.
+        plans = plan_extents([(0, 4), (1004, 4)], 4096, 0.5)
+        assert len(plans) == 2
+
+    def test_empty(self):
+        assert plan_extents([], 100, 0.0) == []
+
+    def test_bad_buffer(self):
+        with pytest.raises(ValueError):
+            plan_extents([(0, 1)], 0, 0.0)
+
+
+def run_single_rank(fn):
+    """Run fn(comm) on one rank of a null-cost machine and return its result."""
+    m = make_machine(1)
+    return run_spmd(m, fn).results[0], m
+
+
+def test_sieve_read_correctness_and_fewer_requests():
+    def program(comm):
+        fs = comm.machine.fs
+        fs.create("f")
+        payload = np.arange(1000, dtype=np.uint8).astype(np.uint8).tobytes()
+        fs.write("f", 0, payload)
+        adio = ADIOFile(fs, "f", comm)
+        segs = [(i * 100, 10) for i in range(10)]  # 10 strided pieces
+        fs.counters.reset()
+        out = sieve_read(adio, segs, Hints(ds_read=True, ind_rd_buffer_size=4096))
+        sieved_requests = fs.counters.reads
+        fs.counters.reset()
+        out2 = sieve_read(adio, segs, Hints(ds_read=False))
+        naive_requests = fs.counters.reads
+        expect = b"".join(payload[o : o + n] for o, n in segs)
+        assert out == expect and out2 == expect
+        return sieved_requests, naive_requests
+
+    (sieved, naive), _ = run_single_rank(program)
+    assert sieved == 1
+    assert naive == 10
+
+
+def test_sieve_write_rmw_preserves_holes():
+    def program(comm):
+        fs = comm.machine.fs
+        fs.create("f")
+        fs.write("f", 0, b"\xff" * 100)
+        adio = ADIOFile(fs, "f", comm)
+        segs = [(10, 5), (30, 5), (50, 5)]
+        data = b"A" * 5 + b"B" * 5 + b"C" * 5
+        sieve_write(adio, segs, data, Hints(ds_write=True, ind_wr_buffer_size=4096))
+        got, _ = fs.read("f", 0, 100)
+        return got
+
+    got, _ = run_single_rank(program)
+    expect = bytearray(b"\xff" * 100)
+    expect[10:15] = b"A" * 5
+    expect[30:35] = b"B" * 5
+    expect[50:55] = b"C" * 5
+    assert got == bytes(expect)
+
+
+def test_sieve_write_direct_for_single_segment():
+    def program(comm):
+        fs = comm.machine.fs
+        fs.create("f")
+        adio = ADIOFile(fs, "f", comm)
+        fs.counters.reset()
+        sieve_write(adio, [(0, 50)], b"x" * 50, Hints(ds_write=True))
+        return fs.counters.reads, fs.counters.writes
+
+    (reads, writes), _ = run_single_rank(program)
+    assert reads == 0  # no RMW for a contiguous write
+    assert writes == 1
+
+
+def test_sieve_write_data_length_validation():
+    def program(comm):
+        fs = comm.machine.fs
+        fs.create("f")
+        adio = ADIOFile(fs, "f", comm)
+        with pytest.raises(ValueError):
+            sieve_write(adio, [(0, 10)], b"short", Hints())
+        return True
+
+    assert run_single_rank(program)[0] is True
+
+
+def test_sieving_reduces_time_on_seeky_filesystem():
+    from repro.pfs import StripedServerFS
+
+    def build():
+        return StripedServerFS(
+            "seeky",
+            nservers=1,
+            stripe_size=1 << 20,
+            disk_bandwidth=50e6,
+            seek_time=0.01,
+        )
+
+    segs = [(i * 1000, 8) for i in range(64)]
+
+    def program(comm, hints):
+        fs = comm.machine.fs
+        fs.create("f")
+        fs.write("f", 0, b"\0" * 65536)
+        # Reset device state so both variants start identically.
+        fs.servers[0].disk.busy_until = 0.0
+        adio = ADIOFile(fs, "f", comm)
+        start = comm.clock
+        sieve_read(adio, segs, hints)
+        return comm.clock - start
+
+    m1 = make_machine(1, fs=build())
+    t_sieved = run_spmd(m1, program, args=(Hints(ds_read=True),)).results[0]
+    m2 = make_machine(1, fs=build())
+    t_naive = run_spmd(m2, program, args=(Hints(ds_read=False),)).results[0]
+    # 1 seek vs 64 seeks.
+    assert t_sieved < t_naive / 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seg_spec=st.lists(
+        st.tuples(st.integers(1, 40), st.integers(0, 40)), min_size=1, max_size=12
+    ),
+    buffer_size=st.integers(8, 512),
+    use_ds=st.booleans(),
+)
+def test_property_sieve_roundtrip(seg_spec, buffer_size, use_ds):
+    """write-then-read through sieving returns exactly what was written."""
+    # Build sorted disjoint segments from (length, gap) pairs.
+    segs = []
+    pos = 0
+    for length, gap in seg_spec:
+        segs.append((pos, length))
+        pos += length + gap + 1
+    total = sum(n for _, n in segs)
+    rng = np.random.default_rng(42)
+    payload = rng.integers(0, 256, size=total, dtype=np.uint8).tobytes()
+
+    def program(comm):
+        fs = comm.machine.fs
+        fs.create("f")
+        adio = ADIOFile(fs, "f", comm)
+        hints = Hints(
+            ds_read=use_ds,
+            ds_write=use_ds,
+            ind_rd_buffer_size=buffer_size,
+            ind_wr_buffer_size=buffer_size,
+        )
+        sieve_write(adio, segs, payload, hints)
+        return sieve_read(adio, segs, hints)
+
+    got = run_spmd(make_machine(1), program).results[0]
+    assert got == payload

@@ -1,0 +1,145 @@
+"""Unit and property tests for the block store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs import BlockStore, FileExists, FileNotFound, StoredFile
+
+
+class TestStoredFile:
+    def test_write_then_read_roundtrip(self):
+        f = StoredFile("a")
+        f.write(0, b"hello world")
+        assert f.read(0, 11) == b"hello world"
+        assert f.size == 11
+
+    def test_sparse_holes_read_as_zeros(self):
+        f = StoredFile("a")
+        f.write(10, b"xy")
+        assert f.read(0, 12) == b"\0" * 10 + b"xy"
+        assert f.size == 12
+
+    def test_read_past_eof_zero_fills(self):
+        f = StoredFile("a")
+        f.write(0, b"ab")
+        assert f.read(0, 5) == b"ab\0\0\0"
+
+    def test_overwrite_in_place(self):
+        f = StoredFile("a")
+        f.write(0, b"aaaaaa")
+        f.write(2, b"BB")
+        assert f.read(0, 6) == b"aaBBaa"
+        assert f.size == 6
+
+    def test_truncate_shrinks_and_grows_logical_size(self):
+        f = StoredFile("a")
+        f.write(0, b"abcdef")
+        f.truncate(3)
+        assert f.size == 3
+        assert f.read(0, 6) == b"abc\0\0\0"
+        f.truncate(10)
+        assert f.size == 10
+
+    def test_memoryview_and_bytearray_inputs(self):
+        f = StoredFile("a")
+        f.write(0, bytearray(b"123"))
+        f.write(3, memoryview(b"456"))
+        assert f.read(0, 6) == b"123456"
+
+    def test_negative_arguments_rejected(self):
+        f = StoredFile("a")
+        with pytest.raises(ValueError):
+            f.write(-1, b"x")
+        with pytest.raises(ValueError):
+            f.read(-1, 4)
+        with pytest.raises(ValueError):
+            f.read(0, -4)
+        with pytest.raises(ValueError):
+            f.truncate(-1)
+
+
+class TestBlockStore:
+    def test_create_open_delete_cycle(self):
+        bs = BlockStore()
+        bs.create("f")
+        assert bs.exists("f")
+        bs.open("f").write(0, b"data")
+        bs.delete("f")
+        assert not bs.exists("f")
+
+    def test_open_missing_raises(self):
+        with pytest.raises(FileNotFound):
+            BlockStore().open("nope")
+
+    def test_open_with_create_flag(self):
+        bs = BlockStore()
+        f = bs.open("new", create=True)
+        assert f.size == 0
+        assert bs.exists("new")
+
+    def test_exclusive_create_conflicts(self):
+        bs = BlockStore()
+        bs.create("f")
+        with pytest.raises(FileExists):
+            bs.create("f", exclusive=True)
+
+    def test_create_truncates_existing(self):
+        bs = BlockStore()
+        bs.create("f").write(0, b"old")
+        f = bs.create("f")
+        assert f.size == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(FileNotFound):
+            BlockStore().delete("nope")
+
+    def test_listdir_sorted(self):
+        bs = BlockStore()
+        for name in ("c", "a", "b"):
+            bs.create(name)
+        assert bs.listdir() == ["a", "b", "c"]
+
+    def test_total_bytes(self):
+        bs = BlockStore()
+        bs.create("a").write(0, b"12345")
+        bs.create("b").write(10, b"x")
+        assert bs.total_bytes() == 5 + 11
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 500), st.binary(min_size=1, max_size=64)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_store_matches_reference_model(writes):
+    """Random overlapping writes: the store equals a flat reference buffer."""
+    f = StoredFile("p")
+    ref = bytearray()
+    for offset, data in writes:
+        end = offset + len(data)
+        if end > len(ref):
+            ref.extend(b"\0" * (end - len(ref)))
+        ref[offset:end] = data
+        f.write(offset, data)
+    assert f.size == len(ref)
+    assert f.read(0, len(ref)) == bytes(ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    offset=st.integers(0, 1000),
+    size=st.integers(0, 200),
+    data=st.binary(min_size=0, max_size=300),
+)
+def test_property_read_is_pure(offset, size, data):
+    """Reads never mutate: two identical reads return identical bytes."""
+    f = StoredFile("p")
+    f.write(17, data)
+    first = f.read(offset, size)
+    second = f.read(offset, size)
+    assert first == second
+    assert len(first) == size

@@ -1,0 +1,207 @@
+"""Property-based cross-path equivalence tests.
+
+The strongest invariant in the stack: *every I/O path writes/reads the same
+bytes*.  Collective two-phase I/O, independent sieved I/O and naive
+per-segment I/O are different performance strategies over identical data
+semantics, so for random decompositions they must produce identical files
+and identical read results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import run_spmd
+from repro.mpi.datatypes import FLOAT64, Subarray
+from repro.mpiio import File, Hints
+
+from .conftest import make_machine
+
+
+@st.composite
+def decompositions(draw):
+    """A random 3-D shape plus a random axis-aligned block decomposition."""
+    shape = tuple(draw(st.integers(2, 8)) for _ in range(3))
+    # Split each axis into 1..2 pieces at random cut points.
+    cuts = []
+    for n in shape:
+        if draw(st.booleans()) and n >= 2:
+            c = draw(st.integers(1, n - 1))
+            cuts.append([(0, c), (c, n)])
+        else:
+            cuts.append([(0, n)])
+    blocks = [
+        ((x0, y0, z0), (x1 - x0, y1 - y0, z1 - z0))
+        for (x0, x1) in cuts[0]
+        for (y0, y1) in cuts[1]
+        for (z0, z1) in cuts[2]
+    ]
+    return shape, blocks
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=decompositions(), cb=st.sampled_from([128, 4096, 1 << 20]))
+def test_property_collective_equals_independent_writes(spec, cb):
+    """Collective and independent writes of the same decomposition produce
+    byte-identical files."""
+    shape, blocks = spec
+    nprocs = len(blocks)
+    full = np.arange(np.prod(shape), dtype=np.float64).reshape(shape)
+
+    def program(comm, collective):
+        starts, sizes = blocks[comm.rank]
+        sel = tuple(slice(s, s + n) for s, n in zip(starts, sizes))
+        ftype = Subarray(shape, sizes, starts, FLOAT64)
+        fh = File.open(comm, "f", "w",
+                       hints=Hints(cb_buffer_size=cb, ds_write=False))
+        fh.set_view(0, FLOAT64, ftype)
+        data = np.ascontiguousarray(full[sel])
+        if collective:
+            fh.write_all(data)
+        else:
+            fh.write(data)
+        fh.close()
+        return None
+
+    m1 = make_machine(nprocs)
+    run_spmd(m1, program, args=(True,))
+    m2 = make_machine(nprocs)
+    run_spmd(m2, program, args=(False,))
+    total = int(np.prod(shape)) * 8
+    b1 = m1.fs.store.open("f").read(0, total)
+    b2 = m2.fs.store.open("f").read(0, total)
+    assert b1 == b2
+    np.testing.assert_array_equal(
+        np.frombuffer(b1, dtype=np.float64).reshape(shape), full
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=decompositions(), sieve=st.booleans())
+def test_property_collective_read_equals_independent_read(spec, sieve):
+    shape, blocks = spec
+    nprocs = len(blocks)
+    full = np.arange(np.prod(shape), dtype=np.float64).reshape(shape)
+
+    def program(comm):
+        if comm.rank == 0:
+            comm.machine.fs.create("f")
+            comm.machine.fs.write("f", 0, full.tobytes())
+        from repro.mpi import collectives as coll
+
+        coll.barrier(comm)
+        starts, sizes = blocks[comm.rank]
+        ftype = Subarray(shape, sizes, starts, FLOAT64)
+        fh = File.open(comm, "f", "r", hints=Hints(ds_read=sieve))
+        fh.set_view(0, FLOAT64, ftype)
+        a = fh.read_at_all(0, np.empty(sizes, dtype=np.float64))
+        b = fh.read_at(0, np.empty(sizes, dtype=np.float64))
+        fh.close()
+        np.testing.assert_array_equal(a, b)
+        sel = tuple(slice(s, s + n) for s, n in zip(starts, sizes))
+        np.testing.assert_array_equal(a, full[sel])
+        return True
+
+    assert all(run_spmd(make_machine(nprocs), program).results)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nprocs=st.integers(1, 5),
+    n_per_rank=st.integers(0, 30),
+    seed=st.integers(0, 10_000),
+)
+def test_property_sorted_blockwise_particle_write(nprocs, n_per_rank, seed):
+    """The paper's particle path: sort by ID + block-wise writes produce a
+    globally ID-sorted file regardless of the initial distribution."""
+    from repro.enzo import parallel_sort_by_id
+
+    rng = np.random.default_rng(seed)
+    ids_all = rng.permutation(nprocs * n_per_rank).astype(np.int64)
+
+    def program(comm):
+        from repro.amr import ParticleSet
+
+        mine_ids = ids_all[comm.rank::comm.size]
+        mine = ParticleSet(
+            ids=mine_ids,
+            positions=rng.random((len(mine_ids), 3)),
+            velocities=np.zeros((len(mine_ids), 3)),
+            mass=np.asarray(mine_ids, dtype=np.float64),
+            attributes=np.zeros((len(mine_ids), 2)),
+        )
+        out, offset, counts = parallel_sort_by_id(comm, mine)
+        fh = File.open(comm, "ids", "w")
+        fh.write_at(offset * 8, np.ascontiguousarray(out.ids))
+        fh.close()
+        return sum(counts)
+
+    m = make_machine(nprocs)
+    res = run_spmd(m, program)
+    total = res.results[0]
+    assert total == nprocs * n_per_rank
+    raw = m.fs.store.open("ids").read(0, total * 8)
+    got = np.frombuffer(raw, dtype=np.int64)
+    np.testing.assert_array_equal(got, np.sort(ids_all))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["read", "write"]),
+            st.integers(0, 2000),
+            st.integers(1, 500),
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_property_fs_timing_monotone_and_conserving(ops):
+    """Any op sequence: completions never precede issue; utilisation adds up."""
+    from repro.pfs import StripedServerFS
+
+    fs = StripedServerFS(
+        "p", nservers=3, stripe_size=64, disk_bandwidth=1000.0,
+        seek_time=0.001, request_cpu_time=0.0005,
+    )
+    fs.create("f")
+    t = 0.0
+    for op, offset, nbytes in ops:
+        if op == "write":
+            done = fs.write("f", offset, b"x" * nbytes, ready_time=t)
+        else:
+            _, done = fs.read("f", offset, nbytes, ready_time=t)
+        assert done >= t
+        t = done
+    # Total device busy time is bounded by the elapsed span times servers.
+    busy = sum(s.disk.busy_time for s in fs.servers)
+    assert busy <= t * len(fs.servers) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            st.sampled_from(["read", "write"]),
+            st.integers(0, 10_000),
+            st.integers(0, 10_000),
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 10, allow_nan=False),
+            st.integers(0, 7),
+        ),
+        max_size=20,
+    )
+)
+def test_property_trace_json_roundtrip(events):
+    from repro.core import IOTrace
+
+    t = IOTrace()
+    for op, offset, nbytes, start, dur, node in events:
+        t.record(op=op, path="f", offset=offset, nbytes=nbytes,
+                 start=start, end=start + dur, node=node)
+    again = IOTrace.from_json(t.to_json())
+    assert again.events == t.events
+    assert again.total_bytes("write") == t.total_bytes("write")
+    assert again.sequential_fraction("read") == t.sequential_fraction("read")
