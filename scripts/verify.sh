@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Repo verify flow: tier-1 tests, insights smoke tests, lint gate, and the
+# tuned-vs-untuned bandwidth artifact.
+#
+# Usage:  bash scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== insights smoke tests =="
+python -m pytest -q tests/test_insights*.py
+
+echo "== lint gate (insights subsystem) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src/repro/insights
+else
+    echo "ruff not installed; lint gate skipped"
+fi
+
+echo "== tuned-vs-untuned bandwidth artifact =="
+python -m repro tune --problem AMR32 --procs 8 --strategy hdf4 \
+    --out BENCH_insights.json
+echo "verify OK"

@@ -1,13 +1,18 @@
 """Benchmark harness: workload builders and experiment runners."""
 
 from .figures import render_bars, render_figure
-from .runners import ExperimentResult, run_checkpoint_experiment
+from .runners import (
+    ExperimentResult,
+    run_checkpoint_experiment,
+    run_traced_experiment,
+)
 from .utilization import device_utilization, format_utilization_report
 from .workloads import build_initial_workload, build_workload, workload_summary
 
 __all__ = [
     "ExperimentResult",
     "run_checkpoint_experiment",
+    "run_traced_experiment",
     "build_workload",
     "build_initial_workload",
     "workload_summary",

@@ -11,12 +11,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..amr.hierarchy import GridHierarchy
+from ..core.trace import IOTrace, trace_filesystem
 from ..enzo.io_base import IOStrategy
 from ..enzo.state import RankState
 from ..mpi.runner import run_spmd
 from ..topology.machine import Machine
 
-__all__ = ["ExperimentResult", "run_checkpoint_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "run_checkpoint_experiment",
+    "run_traced_experiment",
+]
 
 
 @dataclass
@@ -134,6 +139,32 @@ def run_checkpoint_experiment(
         fs_write_requests=fs_write_requests,
         fs_read_requests=fs_read_requests,
     )
+
+
+def run_traced_experiment(
+    machine: Machine,
+    strategy: IOStrategy,
+    hierarchy: GridHierarchy,
+    *,
+    include_meta: bool = True,
+    **kwargs,
+) -> tuple[ExperimentResult, IOTrace]:
+    """:func:`run_checkpoint_experiment` with the file system traced.
+
+    The trace is detached before returning, so the machine can be reused
+    untraced; it covers everything the experiment did (including untimed
+    setup writes for a separate read hierarchy, if one was passed).
+    """
+    if machine.fs is None:
+        raise ValueError("machine has no file system")
+    trace = trace_filesystem(machine.fs, include_meta=include_meta)
+    try:
+        result = run_checkpoint_experiment(
+            machine, strategy, hierarchy, **kwargs
+        )
+    finally:
+        trace.detach()
+    return result, trace
 
 
 def _merge_phases(per_rank: list[dict]) -> dict:

@@ -5,8 +5,12 @@ Commands:
 * ``table1``                     -- print the data-volume table;
 * ``figure fig6|fig7|fig8|fig9|fig10`` -- run one figure's experiments and
   draw the paper-style chart;
-* ``analyze``                    -- trace a checkpoint dump and print the
-  Pablo-style I/O report plus the optimizer's plan;
+* ``analyze``                    -- trace a checkpoint dump (or load a saved
+  trace) and print the Pablo-style I/O report plus the optimizer's plan;
+* ``insights``                   -- run the Drishti-style detector rules
+  over a saved trace and print the severity-ranked diagnosis;
+* ``tune``                       -- closed-loop auto-tuning: diagnose,
+  apply the recommended strategy/hints, re-run, report the delta;
 * ``simulate``                   -- run the full ENZO flow with dumps and a
   verified restart.
 
@@ -16,6 +20,7 @@ Common options: ``--problem AMR16|AMR32|AMR64|AMR128`` and ``--procs N``.
 from __future__ import annotations
 
 import argparse
+import sys
 
 from .bench import (
     build_initial_workload,
@@ -25,7 +30,7 @@ from .bench import (
 from .bench.figures import render_figure
 from .core import format_table
 from .enzo import HDF4Strategy, HDF5Strategy, MPIIOStrategy, table1
-from .topology import chiba_city, chiba_city_local, ibm_sp2, origin2000
+from .topology import PRESETS, chiba_city, chiba_city_local, ibm_sp2, origin2000
 
 __all__ = ["main"]
 
@@ -134,14 +139,42 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def _load_trace(path: str):
+    """Load a saved trace, or print a diagnostic and return None.
+
+    Callers exit with status 2 (bad input) when this returns None -- a
+    missing or corrupt trace file is a usage error, not a crash.
+    """
+    from .core import IOTrace
+
+    try:
+        return IOTrace.load(path)
+    except FileNotFoundError:
+        print(f"error: trace file not found: {path}", file=sys.stderr)
+    except IsADirectoryError:
+        print(f"error: {path} is a directory, not a trace file", file=sys.stderr)
+    except (ValueError, TypeError, KeyError, OSError) as exc:
+        # json decode errors are ValueError; unexpected event fields are
+        # TypeError -- both mean "not a trace produced by IOTrace.save".
+        print(f"error: cannot parse trace file {path}: {exc}", file=sys.stderr)
+    return None
+
+
 def cmd_analyze(args) -> int:
     from .core import format_trace_report, trace_filesystem
     from .enzo import RankState
     from .mpi import run_spmd
 
+    if args.trace:
+        trace = _load_trace(args.trace)
+        if trace is None:
+            return 2
+        print(format_trace_report(trace, title=f"saved trace {args.trace}"))
+        return 0
+
     machine = origin2000(nprocs=args.procs or 8)
     hierarchy = build_workload(args.problem)
-    trace = trace_filesystem(machine.fs)
+    trace = trace_filesystem(machine.fs, include_meta=True)
     strategy = STRATEGIES[args.strategy]()
 
     def program(comm):
@@ -154,7 +187,58 @@ def cmd_analyze(args) -> int:
             trace, title=f"{strategy.name} dump of {args.problem}"
         )
     )
+    if args.save_trace:
+        trace.save(args.save_trace)
+        print(f"\nwrote {len(trace)} events to {args.save_trace}")
     return 0
+
+
+def cmd_insights(args) -> int:
+    from .insights import Severity, diagnose, format_report, report_to_json
+
+    trace = _load_trace(args.trace)
+    if trace is None:
+        return 2
+    diagnosis = diagnose(
+        trace,
+        nprocs=args.procs or 0,
+        stripe_size=args.stripe,
+        strategy=args.strategy,
+    )
+    if args.json:
+        print(report_to_json(diagnosis))
+    else:
+        print(
+            format_report(
+                diagnosis,
+                title=f"repro.insights -- {args.trace}",
+                color=None if args.color == "auto" else args.color == "always",
+                show_ok=not args.issues,
+            )
+        )
+    return 1 if args.check and diagnosis.count(Severity.HIGH) else 0
+
+
+def cmd_tune(args) -> int:
+    import json
+
+    from .insights import AutoTuner
+
+    preset = PRESETS[args.machine]
+    tuner = AutoTuner(
+        lambda n: preset(nprocs=n),
+        problem=args.problem,
+        nprocs=args.procs,
+        strategy=args.strategy,
+        max_rounds=args.rounds,
+    )
+    report = tuner.tune()
+    print(report.explain())
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report.to_dict(), f, indent=2)
+        print(f"wrote tuning report to {args.out}")
+    return 0 if report.bandwidth_delta >= 0 else 1
 
 
 def cmd_simulate(args) -> int:
@@ -209,6 +293,43 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--problem", default="AMR32")
     a.add_argument("--procs", type=int, default=8)
     a.add_argument("--strategy", choices=sorted(STRATEGIES), default="mpi-io")
+    a.add_argument("--trace", default=None, metavar="PATH",
+                   help="analyze a saved trace instead of running a dump")
+    a.add_argument("--save-trace", default=None, metavar="PATH",
+                   help="also export the recorded trace as JSON")
+
+    i = sub.add_parser(
+        "insights", help="diagnose a saved trace (Drishti-style rules)"
+    )
+    i.add_argument("trace", metavar="TRACE.json",
+                   help="trace file from 'repro analyze --save-trace'")
+    i.add_argument("--procs", type=int, default=0,
+                   help="processor count of the traced run (sharpens rules)")
+    i.add_argument("--stripe", type=int, default=1 << 20,
+                   help="file-system stripe size in bytes (default 1 MiB)")
+    i.add_argument("--strategy", choices=sorted(STRATEGIES), default=None,
+                   help="strategy that produced the trace, if known")
+    i.add_argument("--json", action="store_true",
+                   help="emit the diagnosis as JSON")
+    i.add_argument("--issues", action="store_true",
+                   help="hide OK findings, show only issues")
+    i.add_argument("--color", choices=["auto", "always", "never"],
+                   default="auto")
+    i.add_argument("--check", action="store_true",
+                   help="exit 1 if any HIGH finding is present")
+
+    t = sub.add_parser(
+        "tune", help="closed-loop auto-tune: diagnose, retune, re-run"
+    )
+    t.add_argument("--problem", default="AMR32")
+    t.add_argument("--procs", type=int, default=8)
+    t.add_argument("--strategy", choices=sorted(STRATEGIES), default="hdf4",
+                   help="baseline strategy to start from (default hdf4)")
+    t.add_argument("--machine", choices=sorted(PRESETS), default="origin2000")
+    t.add_argument("--rounds", type=int, default=3,
+                   help="maximum retune rounds")
+    t.add_argument("--out", default=None, metavar="PATH",
+                   help="write the tuning report as JSON (BENCH artifact)")
 
     s = sub.add_parser("simulate", help="run the full ENZO flow")
     s.add_argument("--problem", default="AMR32")
@@ -225,6 +346,16 @@ def main(argv=None) -> int:
         "table1": cmd_table1,
         "figure": cmd_figure,
         "analyze": cmd_analyze,
+        "insights": cmd_insights,
+        "tune": cmd_tune,
         "simulate": cmd_simulate,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # the consumer (e.g. `| head`) closed the pipe: stop quietly with
+        # the conventional 128+SIGPIPE status instead of a traceback
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141

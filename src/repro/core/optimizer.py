@@ -56,6 +56,26 @@ class IOPlan:
                 return p
         raise KeyError(name)
 
+    def recommended_hints(self):
+        """MPI-IO hints that realise this plan's file-level advice.
+
+        Stripe alignment (when a stripe is known) plus write-behind
+        buffering for the independent contiguous streams the plan keeps
+        out of collective I/O.  The insights auto-tuner arrives at the
+        same knobs from the trace side; this is the metadata side.
+        """
+        from ..mpiio.hints import Hints
+
+        hints = Hints()
+        if self.align_to_stripe:
+            hints = hints.replace(
+                cb_align=self.align_to_stripe,
+                striping_unit=self.align_to_stripe,
+            )
+        if any(not a.collective for a in self.arrays):
+            hints = hints.replace(wb_buffer_size=4 * 1024 * 1024)
+        return hints
+
     def explain(self) -> str:
         lines = ["I/O plan:"]
         for p in self.arrays:

@@ -31,6 +31,9 @@ class IOEvent:
     start: float
     end: float
     node: int
+    #: metadata sub-operation ("open" | "create" | "delete") for op="meta",
+    #: empty for data requests; optional so pre-existing traces still load.
+    kind: str = ""
 
     @property
     def duration(self) -> float:
@@ -95,6 +98,45 @@ class IOTrace:
         t = self.elapsed(op)
         return self.total_bytes(op) / t if t > 0 else 0.0
 
+    def alignment_fraction(self, op: str, boundary: int) -> float:
+        """Fraction of ``op`` requests whose file offset falls on a
+        ``boundary``-byte boundary (stripe / file-system block).
+
+        Misaligned requests straddle stripe units and pay extra server
+        visits and lock traffic; 1.0 is returned for an empty selection so
+        "no requests" never reads as "misaligned requests".
+        """
+        if boundary < 1:
+            raise ValueError("boundary must be >= 1")
+        events = self.ops(op)
+        if not events:
+            return 1.0
+        aligned = sum(1 for e in events if e.offset % boundary == 0)
+        return aligned / len(events)
+
+    def metadata_ratio(self) -> float:
+        """Metadata operations (open/create/delete) per data request.
+
+        The paper attributes HDF5's slowdown to exactly this interleaving
+        of metadata and data traffic; a high ratio means the run spends its
+        requests on namespace churn rather than payload.  Returns 0.0 for
+        a trace with no data requests (all-metadata traces are reported as
+        ratio = number of metadata ops).
+        """
+        meta = len(self.ops("meta"))
+        data = len(self.events) - meta
+        if data == 0:
+            return float(meta)
+        return meta / data
+
+    def paths(self, op: str | None = None) -> list[str]:
+        """Distinct file paths touched, in first-seen order."""
+        events = self.events if op is None else self.ops(op)
+        seen: dict[str, None] = {}
+        for e in events:
+            seen.setdefault(e.path, None)
+        return list(seen)
+
     def per_node_bytes(self, op: str) -> dict[int, int]:
         out: dict[int, int] = {}
         for e in self.ops(op):
@@ -128,31 +170,74 @@ class IOTrace:
             return cls.from_json(f.read())
 
 
-def trace_filesystem(fs) -> IOTrace:
+def trace_filesystem(fs, *, include_meta: bool = False) -> IOTrace:
     """Instrument a FileSystem in place; returns the live trace.
 
     Wraps the private timing hooks so every read/write lands in the trace
-    with its virtual start/finish times.
+    with its virtual start/finish times.  With ``include_meta=True``,
+    namespace operations (open/create/delete) are recorded as ``op="meta"``
+    events too -- the raw material for metadata-churn diagnosis.
+
+    List-I/O requests are recorded one event per segment, tagged with the
+    request's overall start/finish (segments share one wire request).
+
+    The returned trace carries a ``detach()`` callable that restores the
+    original hooks, so a file system can be traced for one phase only.
     """
     trace = IOTrace()
     orig_read, orig_write = fs._service_read, fs._service_write
+    orig_list, orig_meta = fs._service_list, fs._service_meta
+    in_list = False  # list-I/O may fall back to per-segment service hooks
 
     def traced_read(path, offset, nbytes, node, ready_time):
         done = orig_read(path, offset, nbytes, node, ready_time)
-        trace.record(
-            op="read", path=path, offset=offset, nbytes=nbytes,
-            start=ready_time, end=done, node=node,
-        )
+        if not in_list:
+            trace.record(
+                op="read", path=path, offset=offset, nbytes=nbytes,
+                start=ready_time, end=done, node=node,
+            )
         return done
 
     def traced_write(path, offset, nbytes, node, ready_time):
         done = orig_write(path, offset, nbytes, node, ready_time)
+        if not in_list:
+            trace.record(
+                op="write", path=path, offset=offset, nbytes=nbytes,
+                start=ready_time, end=done, node=node,
+            )
+        return done
+
+    def traced_list(path, segments, node, ready_time, op):
+        nonlocal in_list
+        in_list = True
+        try:
+            done = orig_list(path, segments, node, ready_time, op)
+        finally:
+            in_list = False
+        for off, n in segments:
+            trace.record(
+                op=op, path=path, offset=off, nbytes=n,
+                start=ready_time, end=done, node=node,
+            )
+        return done
+
+    def traced_meta(op, path, node, ready_time):
+        done = orig_meta(op, path, node, ready_time)
         trace.record(
-            op="write", path=path, offset=offset, nbytes=nbytes,
-            start=ready_time, end=done, node=node,
+            op="meta", path=path, offset=0, nbytes=0,
+            start=ready_time, end=done, node=node, kind=op,
         )
         return done
 
     fs._service_read = traced_read
     fs._service_write = traced_write
+    fs._service_list = traced_list
+    if include_meta:
+        fs._service_meta = traced_meta
+
+    def detach():
+        fs._service_read, fs._service_write = orig_read, orig_write
+        fs._service_list, fs._service_meta = orig_list, orig_meta
+
+    trace.detach = detach
     return trace

@@ -1,0 +1,11 @@
+"""Detector rules; importing this package registers every rule.
+
+Each module groups related rules:
+
+* :mod:`.requests` -- request-size and access-order pathologies;
+* :mod:`.layout`   -- file-count, alignment, and shared-file findings;
+* :mod:`.balance`  -- rank/node byte-distribution findings;
+* :mod:`.metadata` -- namespace-churn findings.
+"""
+
+from . import balance, layout, metadata, requests  # noqa: F401

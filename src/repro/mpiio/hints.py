@@ -7,7 +7,7 @@ writes, one collective-buffering aggregator per compute node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, replace as _dc_replace
 
 __all__ = ["Hints"]
 
@@ -48,6 +48,16 @@ class Hints:
     #: create time (0 = keep the volume default); honoured by file systems
     #: that support per-file layouts (the paper's suggested FS extension).
     striping_unit: int = 0
+
+    def replace(self, **changes) -> "Hints":
+        """A validated copy with ``changes`` applied (MPI_Info_set-style)."""
+        return _dc_replace(self, **changes).validate()
+
+    def to_info(self) -> dict:
+        """The knobs as a flat ``MPI_Info``-like dict (JSON-friendly)."""
+        info = asdict(self)
+        info["cb_nodes"] = -1 if self.cb_nodes is None else self.cb_nodes
+        return info
 
     def validate(self) -> "Hints":
         if self.cb_buffer_size < 1:

@@ -21,10 +21,13 @@ them next to each figure.  Nothing here is fitted to individual data points
 
 from __future__ import annotations
 
-from ..pfs.localfs import LocalDiskFS
-from ..pfs.striped import StripedServerFS
 from .machine import Machine
 from .network import CCNumaNetwork, Network, SwitchedNetwork
+
+# NOTE: repro.pfs is imported inside each factory, not at module level:
+# pfs.striped itself imports repro.topology for the network models, so a
+# module-level import here would close an import cycle whose outcome
+# depends on which package happens to load first.
 
 __all__ = ["origin2000", "ibm_sp2", "chiba_city", "chiba_city_local", "PRESETS"]
 
@@ -34,6 +37,8 @@ MB = 1024 * 1024
 
 def origin2000(nprocs: int = 32) -> Machine:
     """SGI Origin2000 with XFS (Figures 6 and 10)."""
+    from ..pfs.striped import StripedServerFS
+
     net = CCNumaNetwork(nnodes=nprocs, latency=1e-6, bandwidth=600 * MB)
     machine = Machine(
         name="SGI-Origin2000/XFS",
@@ -62,6 +67,8 @@ def origin2000(nprocs: int = 32) -> Machine:
 
 def ibm_sp2(nprocs: int = 64, procs_per_node: int = 8) -> Machine:
     """IBM SP with GPFS (Figure 7)."""
+    from ..pfs.striped import StripedServerFS
+
     nnodes = (nprocs + procs_per_node - 1) // procs_per_node
     net = SwitchedNetwork(
         nnodes=nnodes, latency=20e-6, bandwidth=130 * MB, name="sp-switch"
@@ -102,6 +109,8 @@ def chiba_city(nprocs: int = 8) -> Machine:
     8 compute nodes (one process each, as in the paper's runs) and 8 PVFS
     I/O nodes, all on 100 Mb/s Ethernet behind an oversubscribed switch.
     """
+    from ..pfs.striped import StripedServerFS
+
     net = SwitchedNetwork(
         nnodes=nprocs,
         latency=120e-6,
@@ -135,6 +144,8 @@ def chiba_city(nprocs: int = 8) -> Machine:
 
 def chiba_city_local(nprocs: int = 8) -> Machine:
     """Chiba City with node-local disks via the PVFS interface (Figure 9)."""
+    from ..pfs.localfs import LocalDiskFS
+
     net = SwitchedNetwork(
         nnodes=nprocs,
         latency=120e-6,
