@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Repo verify flow: tier-1 tests, insights smoke tests, lint gate, and the
-# tuned-vs-untuned bandwidth artifact.
+# Repo verify flow: tier-1 tests, resilience + insights smoke tests, lint
+# gate, and the tuned-vs-untuned bandwidth artifact.
 #
 # Usage:  bash scripts/verify.sh
 set -euo pipefail
@@ -8,17 +8,28 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 test suite =="
-python -m pytest -x -q
+python -m pytest -x -q --durations=10
+
+echo "== resilience smoke tests =="
+python -m pytest -q tests/test_resilience*.py tests/test_crash_consistency.py \
+    tests/test_cli_errors.py
 
 echo "== insights smoke tests =="
 python -m pytest -q tests/test_insights*.py
 
-echo "== lint gate (insights subsystem) =="
+echo "== lint gate (resilience + insights subsystems) =="
 if command -v ruff >/dev/null 2>&1; then
-    ruff check src/repro/insights
+    ruff check src/repro/resilience src/repro/insights src/repro/cli.py \
+        tests/test_resilience_faults.py tests/test_resilience_manifest.py \
+        tests/test_resilience_roundtrip.py tests/test_crash_consistency.py \
+        tests/test_cli_errors.py tests/test_insights_resilience.py
 else
     echo "ruff not installed; lint gate skipped"
 fi
+
+echo "== crash-consistency acceptance scenario =="
+python -m repro simulate --problem AMR16 --procs 4 --cycles 1 \
+    --inject write:torn:run --retries 2
 
 echo "== tuned-vs-untuned bandwidth artifact =="
 python -m repro tune --problem AMR32 --procs 8 --strategy hdf4 \

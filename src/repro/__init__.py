@@ -19,7 +19,20 @@ Quick start::
     print(result.write_time, result.read_time)
 """
 
-from . import amr, bench, core, enzo, hdf4, hdf5, mpi, mpiio, pfs, sim, topology
+from . import (
+    amr,
+    bench,
+    core,
+    enzo,
+    hdf4,
+    hdf5,
+    mpi,
+    mpiio,
+    pfs,
+    resilience,
+    sim,
+    topology,
+)
 
 __version__ = "1.0.0"
 
@@ -35,5 +48,6 @@ __all__ = [
     "enzo",
     "core",
     "bench",
+    "resilience",
     "__version__",
 ]

@@ -39,6 +39,8 @@ class ExperimentResult:
     bytes_read: int
     fs_write_requests: int
     fs_read_requests: int
+    #: recovery events (retries/degradations) across write + read phases
+    fs_recoveries: int = 0
 
     def row(self) -> list:
         return [
@@ -90,6 +92,7 @@ def run_checkpoint_experiment(
     write_phases = _merge_phases([s.phases for s in wres.results])
     bytes_written = fs.counters.bytes_written
     fs_write_requests = fs.counters.writes
+    fs_recoveries = fs.counters.recoveries
 
     read_time = 0.0
     read_phases: dict = {}
@@ -125,6 +128,7 @@ def run_checkpoint_experiment(
         read_phases = _merge_phases([s.phases for s in rres.results])
         bytes_read = fs.counters.bytes_read
         fs_read_requests = fs.counters.reads
+        fs_recoveries += fs.counters.recoveries
 
     return ExperimentResult(
         machine=machine.name,
@@ -138,6 +142,7 @@ def run_checkpoint_experiment(
         bytes_read=bytes_read,
         fs_write_requests=fs_write_requests,
         fs_read_requests=fs_read_requests,
+        fs_recoveries=fs_recoveries,
     )
 
 

@@ -40,6 +40,36 @@ STRATEGIES = {
     "hdf5": HDF5Strategy,
 }
 
+def _retry_policy(args):
+    """A RetryPolicy from ``--retries N``, or None when N == 0."""
+    n = getattr(args, "retries", 0)
+    if not n:
+        return None
+    from .resilience import RetryPolicy
+
+    return RetryPolicy(max_retries=n)
+
+
+def _arm_fault(fs, spec: str) -> bool:
+    """Arm an injected fault from ``--inject OP[:MODE[:PATH[:AFTER]]]``.
+
+    Examples: ``write:torn``, ``write:persistent:run``,
+    ``write:oneshot:run:3``.  Prints a diagnostic and returns False on a
+    malformed spec (callers exit 2 -- it is a usage error).
+    """
+    parts = spec.split(":")
+    op = parts[0]
+    mode = parts[1] if len(parts) > 1 and parts[1] else "oneshot"
+    path = parts[2] if len(parts) > 2 else ""
+    try:
+        after = int(parts[3]) if len(parts) > 3 and parts[3] else 0
+        fs.inject_fault(op, path, mode=mode, after=after)
+    except ValueError as exc:
+        print(f"error: bad --inject spec {spec!r}: {exc}", file=sys.stderr)
+        return False
+    return True
+
+
 FIGURES = {
     "fig6": {
         "title": "Figure 6: ENZO I/O on SGI Origin2000 / XFS",
@@ -175,7 +205,7 @@ def cmd_analyze(args) -> int:
     machine = origin2000(nprocs=args.procs or 8)
     hierarchy = build_workload(args.problem)
     trace = trace_filesystem(machine.fs, include_meta=True)
-    strategy = STRATEGIES[args.strategy]()
+    strategy = STRATEGIES[args.strategy](retry=_retry_policy(args))
 
     def program(comm):
         state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
@@ -231,6 +261,7 @@ def cmd_tune(args) -> int:
         nprocs=args.procs,
         strategy=args.strategy,
         max_rounds=args.rounds,
+        retry=_retry_policy(args),
     )
     report = tuner.tune()
     print(report.explain())
@@ -250,21 +281,37 @@ def cmd_simulate(args) -> int:
     )
     from .mpi import run_spmd
 
+    from .sim.errors import RankFailedError
+
     config = EnzoConfig(problem=args.problem, ncycles=args.cycles)
     machine = origin2000(nprocs=args.procs or 8)
+    if args.inject and not _arm_fault(machine.fs, args.inject):
+        return 2
     sim = EnzoSimulation(
         config=config,
-        strategy=STRATEGIES[args.strategy](),
+        strategy=STRATEGIES[args.strategy](retry=_retry_policy(args)),
         hierarchy=EnzoSimulation.build_initial_hierarchy(config),
     )
-    results = run_spmd(machine, lambda c: sim.run(c, base="run"),
-                       nprocs=args.procs or 8)
+    try:
+        results = run_spmd(machine, lambda c: sim.run(c, base="run"),
+                           nprocs=args.procs or 8)
+    except RankFailedError as err:
+        cause = err.__cause__ or err
+        print(f"error: simulation failed: {cause}", file=sys.stderr)
+        print("hint: transient faults can be absorbed with --retries N",
+              file=sys.stderr)
+        return 1
     summary = results.results[0]
     print(f"{summary['cycles']} cycles, {summary['grids']} grids, "
           f"dump time {summary['write_time']:.3f}s (rank 0, simulated)")
     last = summary["dumps"][-1]
-    restart = run_spmd(machine, lambda c: sim.restart(c, last),
-                       nprocs=args.procs or 8)
+    try:
+        restart = run_spmd(machine, lambda c: sim.restart(c, last),
+                           nprocs=args.procs or 8)
+    except RankFailedError as err:
+        cause = err.__cause__ or err
+        print(f"error: restart of {last} failed: {cause}", file=sys.stderr)
+        return 1
     ok = hierarchies_equivalent(RankState.collect(restart.results),
                                 sim.hierarchy)
     print(f"restart of {last}: {'verified bit-exact' if ok else 'MISMATCH'}")
@@ -297,6 +344,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="analyze a saved trace instead of running a dump")
     a.add_argument("--save-trace", default=None, metavar="PATH",
                    help="also export the recorded trace as JSON")
+    a.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry transient I/O faults up to N times")
 
     i = sub.add_parser(
         "insights", help="diagnose a saved trace (Drishti-style rules)"
@@ -330,12 +379,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="maximum retune rounds")
     t.add_argument("--out", default=None, metavar="PATH",
                    help="write the tuning report as JSON (BENCH artifact)")
+    t.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry transient I/O faults up to N times")
 
     s = sub.add_parser("simulate", help="run the full ENZO flow")
     s.add_argument("--problem", default="AMR32")
     s.add_argument("--procs", type=int, default=8)
     s.add_argument("--cycles", type=int, default=2)
     s.add_argument("--strategy", choices=sorted(STRATEGIES), default="mpi-io")
+    s.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry transient I/O faults up to N times")
+    s.add_argument("--inject", default=None,
+                   metavar="OP[:MODE[:PATH[:AFTER]]]",
+                   help="arm one injected fault before the run, e.g. "
+                        "'write:torn' or 'write:oneshot:run:3'")
 
     return p
 

@@ -24,7 +24,7 @@ __all__ = ["IOEvent", "IOTrace", "trace_filesystem"]
 class IOEvent:
     """One traced request."""
 
-    op: str  # "read" | "write" | "meta"
+    op: str  # "read" | "write" | "meta" | "recovery"
     path: str
     offset: int
     nbytes: int
@@ -32,8 +32,12 @@ class IOEvent:
     end: float
     node: int
     #: metadata sub-operation ("open" | "create" | "delete") for op="meta",
-    #: empty for data requests; optional so pre-existing traces still load.
+    #: recovery kind ("retry" | "recovered" | "degraded" | "giveup" |
+    #: "slow-op") for op="recovery"; empty for data requests; optional so
+    #: pre-existing traces still load.
     kind: str = ""
+    #: retry attempt number for op="recovery" events (0 otherwise).
+    attempt: int = 0
 
     @property
     def duration(self) -> float:
@@ -53,6 +57,20 @@ class IOTrace:
 
     def ops(self, op: str) -> list:
         return [e for e in self.events if e.op == op]
+
+    def recoveries(self, kind: str | None = None) -> list:
+        """Recovery events (retry/recovered/degraded/giveup/slow-op)."""
+        events = self.ops("recovery")
+        if kind is None:
+            return events
+        return [e for e in events if e.kind == kind]
+
+    def recovery_summary(self) -> dict[str, int]:
+        """Recovery-event counts by kind."""
+        out: dict[str, int] = {}
+        for e in self.ops("recovery"):
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
 
     # -- statistics -----------------------------------------------------------
 
@@ -124,7 +142,7 @@ class IOTrace:
         ratio = number of metadata ops).
         """
         meta = len(self.ops("meta"))
-        data = len(self.events) - meta
+        data = len(self.ops("read")) + len(self.ops("write"))
         if data == 0:
             return float(meta)
         return meta / data
@@ -187,6 +205,7 @@ def trace_filesystem(fs, *, include_meta: bool = False) -> IOTrace:
     trace = IOTrace()
     orig_read, orig_write = fs._service_read, fs._service_write
     orig_list, orig_meta = fs._service_list, fs._service_meta
+    orig_recovery = fs._service_recovery
     in_list = False  # list-I/O may fall back to per-segment service hooks
 
     def traced_read(path, offset, nbytes, node, ready_time):
@@ -229,15 +248,24 @@ def trace_filesystem(fs, *, include_meta: bool = False) -> IOTrace:
         )
         return done
 
+    def traced_recovery(path, kind, node, time, attempt, nbytes):
+        orig_recovery(path, kind, node, time, attempt, nbytes)
+        trace.record(
+            op="recovery", path=path, offset=0, nbytes=nbytes,
+            start=time, end=time, node=node, kind=kind, attempt=attempt,
+        )
+
     fs._service_read = traced_read
     fs._service_write = traced_write
     fs._service_list = traced_list
+    fs._service_recovery = traced_recovery
     if include_meta:
         fs._service_meta = traced_meta
 
     def detach():
         fs._service_read, fs._service_write = orig_read, orig_write
         fs._service_list, fs._service_meta = orig_list, orig_meta
+        fs._service_recovery = orig_recovery
 
     trace.detach = detach
     return trace

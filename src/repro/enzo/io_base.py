@@ -22,7 +22,13 @@ from ..amr.grid import Grid
 from ..mpi import collectives as coll
 from ..mpi.comm import Comm
 from ..mpiio.adio import ADIOFile
-from ..pfs.base import FileSystem
+from ..pfs.base import FileSystem, InjectedIOError
+from ..resilience.manifest import (
+    CheckpointManifest,
+    ManifestVerificationError,
+    manifest_path,
+)
+from ..resilience.retry import RetryPolicy
 from .meta import HierarchyMeta
 from .state import RankState
 
@@ -48,9 +54,18 @@ class IOStats:
 
 
 class IOStrategy(ABC):
-    """Base class for the three checkpoint I/O implementations."""
+    """Base class for the three checkpoint I/O implementations.
+
+    Resilience: strategies accept an optional
+    :class:`~repro.resilience.RetryPolicy` (``self.retry``) that the ADIO
+    layer applies to every data operation, and each dump commits a
+    ``<base>.manifest`` sidecar of per-array checksums that
+    :meth:`verify_manifest` checks before a restart trusts the data.
+    """
 
     name: str = "abstract"
+    #: optional RetryPolicy; ``None`` = fail-fast (pre-resilience behaviour)
+    retry: RetryPolicy | None = None
 
     @abstractmethod
     def write_checkpoint(
@@ -83,7 +98,7 @@ class IOStrategy(ABC):
                 ready_time=proc.clock,
             )
             proc.advance_to(done)
-            adio = ADIOFile(fs, path, comm)
+            adio = ADIOFile(fs, path, comm, retry=self.retry)
             adio.write_contig(0, meta.to_bytes())
         coll.barrier(comm)
 
@@ -101,10 +116,113 @@ class IOStrategy(ABC):
                 ready_time=proc.clock,
             )
             proc.advance_to(done)
-            adio = ADIOFile(fs, path, comm)
+            adio = ADIOFile(fs, path, comm, retry=self.retry)
             blob = adio.read_contig(0, adio.size())
         blob = coll.bcast(comm, blob, root=0)
         return HierarchyMeta.from_bytes(blob)
+
+    # -- manifest (crash consistency) --------------------------------------
+
+    def write_manifest(self, comm: Comm, base: str, entries) -> None:
+        """Commit the dump: gather per-rank entries, rank 0 writes the
+        ``<base>.manifest`` sidecar, everyone synchronises.
+
+        Called *after* the data file is closed so the manifest's presence
+        marks a completed dump -- a crash mid-dump leaves no manifest and
+        restart fails loudly in :meth:`verify_manifest`.
+        """
+        gathered = coll.gather(comm, list(entries), root=0)
+        if comm.rank == 0:
+            manifest = CheckpointManifest(strategy=self.name)
+            for rank_entries in gathered:
+                for entry in rank_entries:
+                    manifest.add(entry)
+            fs = self._fs(comm)
+            path = manifest_path(base)
+            proc = comm.proc
+            proc.schedule_point()
+            done = fs.create(
+                path,
+                node=comm.machine.node_of(comm.group[0]),
+                ready_time=proc.clock,
+            )
+            proc.advance_to(done)
+            adio = ADIOFile(fs, path, comm, retry=self.retry)
+            adio.write_contig(0, manifest.to_bytes())
+        coll.barrier(comm)
+
+    def verify_manifest(self, comm: Comm, base: str) -> None:
+        """Integrity-gate a restart: rank 0 loads the manifest and scans
+        every recorded array's on-disk bytes against its checksum.
+
+        Raises :class:`~repro.resilience.ManifestVerificationError` when
+        the manifest is missing (dump never committed), unreadable, or any
+        checksum mismatches (torn/lost writes) -- corrupt state is never
+        silently returned.
+        """
+        if comm.rank == 0:
+            fs = self._fs(comm)
+            path = manifest_path(base)
+            if not fs.exists(path):
+                raise ManifestVerificationError(
+                    f"checkpoint {base!r} has no manifest -- "
+                    "the dump did not complete"
+                )
+            proc = comm.proc
+            proc.schedule_point()
+            done = fs.open(
+                path,
+                node=comm.machine.node_of(comm.group[0]),
+                ready_time=proc.clock,
+            )
+            proc.advance_to(done)
+            adio = ADIOFile(fs, path, comm, retry=self.retry)
+            manifest = CheckpointManifest.from_bytes(
+                adio.read_contig(0, adio.size())
+            )
+            manifest.verify_or_raise(fs.store, base)
+        coll.barrier(comm)
+
+    # -- recovery plumbing -------------------------------------------------
+
+    def _notify(self, comm: Comm, base: str, kind: str, nbytes: int = 0) -> None:
+        """Emit a recovery event on this rank's node at the current clock."""
+        self._fs(comm).notify_recovery(
+            base,
+            kind,
+            node=comm.machine.node_of(comm.group[comm.rank]),
+            time=comm.clock,
+            nbytes=nbytes,
+        )
+
+    def _collective_or_degraded(
+        self, comm: Comm, base: str, write_collective, write_independent,
+        nbytes: int = 0,
+    ) -> bool:
+        """Run a collective write, degrading to independent I/O on failure.
+
+        Only active when ``self.retry`` enables ``degrade_collective``;
+        otherwise the collective runs bare (no extra synchronisation) and
+        failures propagate.  When any participant's collective attempt
+        fails (after its ADIO-level retries), all ranks agree via allreduce
+        and re-issue their share independently -- the same bytes land at
+        the same offsets, so the result is identical, just slower.
+        Returns True when the degraded path ran.
+        """
+        degrade = self.retry is not None and self.retry.degrade_collective
+        if not degrade:
+            write_collective()
+            return False
+        failed = 0
+        try:
+            write_collective()
+        except InjectedIOError:
+            failed = 1
+        if coll.allreduce(comm, failed) == 0:
+            return False
+        self._notify(comm, base, "degraded", nbytes=nbytes)
+        write_independent()
+        return True
 
     @staticmethod
     def make_subgrid_shell(meta, gid) -> Grid:

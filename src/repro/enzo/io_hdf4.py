@@ -21,6 +21,8 @@ from ..amr.partition import BlockPartition
 from ..hdf4.sd import SDFile
 from ..mpi import collectives as coll
 from ..mpi.comm import Comm
+from ..resilience.manifest import entry_for_bytes
+from ..resilience.retry import RetryPolicy
 from .io_base import IOStats, IOStrategy
 from .meta import array_dtype
 from .state import RankState, make_owner_map
@@ -36,19 +38,31 @@ def subgrid_path(base: str, gid: int) -> str:
     return f"{base}.grid{gid:04d}"
 
 
-def _write_grid_sd(sd: SDFile, grid: Grid) -> int:
-    """Write one grid's arrays (canonical order) into an open SD file."""
+def _write_grid_sd(sd: SDFile, grid: Grid, entries: list | None = None) -> int:
+    """Write one grid's arrays (canonical order) into an open SD file.
+
+    Appends a manifest entry per array to ``entries`` when given.
+    """
+    path = sd._adio.path
     nbytes = 0
-    for name, arr in grid.fields.items():
-        sd.create(name, arr.dtype, arr.shape).write(arr)
+
+    def _put(name: str, arr) -> None:
+        nonlocal nbytes
+        sds = sd.create(name, arr.dtype, arr.shape)
+        sds.write(arr)
+        if entries is not None:
+            entries.append(entry_for_bytes(
+                f"{path}:{name}", path, sds.entry.data_offset, arr
+            ))
         nbytes += arr.nbytes
+
+    for name, arr in grid.fields.items():
+        _put(name, arr)
     parts = grid.particles
     # "particle/" prefix keeps particle velocity_* distinct from the baryon
     # velocity fields (real ENZO names these particle_velocity_x etc.).
     for name in PARTICLE_ARRAYS:
-        arr = np.ascontiguousarray(parts.array(name))
-        sd.create(f"particle/{name}", arr.dtype, arr.shape).write(arr)
-        nbytes += arr.nbytes
+        _put(f"particle/{name}", np.ascontiguousarray(parts.array(name)))
     return nbytes
 
 
@@ -79,10 +93,13 @@ class HDF4Strategy(IOStrategy):
 
     name = "hdf4"
 
-    def __init__(self, read_mode: str = "master"):
+    def __init__(
+        self, read_mode: str = "master", retry: RetryPolicy | None = None
+    ):
         if read_mode not in ("master", "round_robin"):
             raise ValueError(f"unknown read_mode {read_mode!r}")
         self.read_mode = read_mode
+        self.retry = retry
 
     # -- write -------------------------------------------------------------
 
@@ -102,21 +119,23 @@ class HDF4Strategy(IOStrategy):
 
         # Phase 2: processor 0 writes the combined top grid, sequentially.
         t = comm.clock
+        entries: list = []
         if comm.rank == 0:
-            sd = SDFile.start(comm, top_grid_path(base), "w")
-            stats.bytes_moved += _write_grid_sd(sd, combined)
+            sd = SDFile.start(comm, top_grid_path(base), "w", retry=self.retry)
+            stats.bytes_moved += _write_grid_sd(sd, combined, entries)
             sd.end()
         stats.add_phase("top_write", comm.clock - t)
 
         # Phase 3: subgrids -- each owner writes its own per-grid files.
         t = comm.clock
         for gid in sorted(state.subgrids):
-            sd = SDFile.start(comm, subgrid_path(base, gid), "w")
-            stats.bytes_moved += _write_grid_sd(sd, state.subgrids[gid])
+            sd = SDFile.start(comm, subgrid_path(base, gid), "w", retry=self.retry)
+            stats.bytes_moved += _write_grid_sd(sd, state.subgrids[gid], entries)
             sd.end()
         coll.barrier(comm)
         stats.add_phase("subgrids", comm.clock - t)
 
+        self.write_manifest(comm, base, entries)
         stats.elapsed = comm.clock - t0
         return stats
 
@@ -126,6 +145,7 @@ class HDF4Strategy(IOStrategy):
         stats = IOStats(strategy=self.name, operation="read")
         t0 = comm.clock
         meta = self.read_meta_sidecar(comm, base)
+        self.verify_manifest(comm, base)
         partition = BlockPartition(meta.root.dims, comm.size)
 
         # Phase 1+2: processor 0 reads the whole top grid, partitions it and
@@ -134,7 +154,7 @@ class HDF4Strategy(IOStrategy):
         t = comm.clock
         if comm.rank == 0:
             shell = self.make_root_shell(meta)
-            sd = SDFile.start(comm, top_grid_path(base), "r")
+            sd = SDFile.start(comm, top_grid_path(base), "r", retry=self.retry)
             _read_grid_sd(sd, shell)
             sd.end()
             stats.bytes_moved += shell.data_nbytes
@@ -156,7 +176,7 @@ class HDF4Strategy(IOStrategy):
                 shell = None
                 if comm.rank == 0:
                     shell = self.make_subgrid_shell(meta, gid)
-                    sd = SDFile.start(comm, subgrid_path(base, gid), "r")
+                    sd = SDFile.start(comm, subgrid_path(base, gid), "r", retry=self.retry)
                     _read_grid_sd(sd, shell)
                     sd.end()
                     stats.bytes_moved += shell.data_nbytes
@@ -175,7 +195,7 @@ class HDF4Strategy(IOStrategy):
                 if owner[gid] != comm.rank:
                     continue
                 shell = self.make_subgrid_shell(meta, gid)
-                sd = SDFile.start(comm, subgrid_path(base, gid), "r")
+                sd = SDFile.start(comm, subgrid_path(base, gid), "r", retry=self.retry)
                 _read_grid_sd(sd, shell)
                 sd.end()
                 stats.bytes_moved += shell.data_nbytes
@@ -224,7 +244,7 @@ class HDF4Strategy(IOStrategy):
                     top_grid_path(base) if gid == meta.root_id
                     else subgrid_path(base, gid)
                 )
-                sd = SDFile.start(comm, path, "r")
+                sd = SDFile.start(comm, path, "r", retry=self.retry)
                 _read_grid_sd(sd, shell)
                 sd.end()
                 stats.bytes_moved += shell.data_nbytes

@@ -20,6 +20,8 @@ from ..hdf5.dataspace import Hyperslab
 from ..hdf5.file import H5Costs, H5File
 from ..mpi.comm import Comm
 from ..mpiio.hints import Hints
+from ..resilience.manifest import entry_for_segments
+from ..resilience.retry import RetryPolicy
 from .io_base import IOStats, IOStrategy
 from .meta import array_dtype
 from .sort import parallel_sort_by_id
@@ -38,9 +40,15 @@ class HDF5Strategy(IOStrategy):
 
     name = "hdf5"
 
-    def __init__(self, hints: Hints | None = None, costs: H5Costs | None = None):
+    def __init__(
+        self,
+        hints: Hints | None = None,
+        costs: H5Costs | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         self.hints = hints or Hints()
         self.costs = costs or H5Costs()
+        self.retry = retry
 
     # -- write -------------------------------------------------------------
 
@@ -50,8 +58,10 @@ class HDF5Strategy(IOStrategy):
         meta = state.meta
         self.write_meta_sidecar(comm, base, meta)
         f = H5File.create(
-            comm, base, driver="mpio", hints=self.hints, costs=self.costs
+            comm, base, driver="mpio", hints=self.hints, costs=self.costs,
+            retry=self.retry,
         )
+        entries = []
 
         # Phase 1: top-grid fields -- collective hyperslab writes.
         t = comm.clock
@@ -59,7 +69,16 @@ class HDF5Strategy(IOStrategy):
         for name, arr in state.top_piece.fields.items():
             d = f.create_dataset(_dset_name("top", "field", name), meta.root.dims, np.float64)
             sel = Hyperslab(start=starts, count=sizes)
-            d.write(arr, sel, collective=True)
+            self._collective_or_degraded(
+                comm, base,
+                lambda: d.write(arr, sel, collective=True),
+                lambda: d.write(arr, sel, collective=False),
+                nbytes=arr.nbytes,
+            )
+            entries.append(entry_for_segments(
+                f"top/field/{name}/r{comm.rank:04d}", base,
+                d.file_segments(sel), arr,
+            ))
             d.write_attr("level", 0)
             d.close()
             stats.bytes_moved += arr.nbytes
@@ -79,6 +98,10 @@ class HDF5Strategy(IOStrategy):
                 arr = np.ascontiguousarray(sorted_parts.array(name))
                 sel = Hyperslab(start=(elem_offset,), count=(len(arr),))
                 d.write(arr, sel, collective=False)
+                entries.append(entry_for_segments(
+                    f"top/particle/{name}/r{comm.rank:04d}", base,
+                    d.file_segments(sel), arr,
+                ))
                 stats.bytes_moved += arr.nbytes
             d.close()
         stats.add_phase("top_particles", comm.clock - t)
@@ -94,6 +117,10 @@ class HDF5Strategy(IOStrategy):
                 d = f.create_dataset(_dset_name(gid, "field", name), g.dims, np.float64)
                 if mine is not None:
                     d.write(mine.fields[name], collective=False)
+                    entries.append(entry_for_segments(
+                        f"grid{gid}/field/{name}", base,
+                        d.file_segments(), mine.fields[name],
+                    ))
                     stats.bytes_moved += mine.fields[name].nbytes
                 d.close()
             gparts = mine.particles.sort_by_id() if mine is not None else None
@@ -105,16 +132,18 @@ class HDF5Strategy(IOStrategy):
                 )
                 if mine is not None and g.nparticles:
                     arr = np.ascontiguousarray(gparts.array(name))
-                    d.write(
-                        arr,
-                        Hyperslab(start=(0,), count=(len(arr),)),
-                        collective=False,
-                    )
+                    sel = Hyperslab(start=(0,), count=(len(arr),))
+                    d.write(arr, sel, collective=False)
+                    entries.append(entry_for_segments(
+                        f"grid{gid}/particle/{name}", base,
+                        d.file_segments(sel), arr,
+                    ))
                     stats.bytes_moved += arr.nbytes
                 d.close()
         stats.add_phase("subgrids", comm.clock - t)
 
         f.close()
+        self.write_manifest(comm, base, entries)
         stats.elapsed = comm.clock - t0
         return stats
 
@@ -126,8 +155,12 @@ class HDF5Strategy(IOStrategy):
         stats = IOStats(strategy=self.name, operation="read")
         t0 = comm.clock
         meta = self.read_meta_sidecar(comm, base)
+        self.verify_manifest(comm, base)
         partition = BlockPartition(meta.root.dims, comm.size)
-        f = H5File.open(comm, base, driver="mpio", hints=self.hints, costs=self.costs)
+        f = H5File.open(
+            comm, base, driver="mpio", hints=self.hints, costs=self.costs,
+            retry=self.retry,
+        )
 
         helper = MPIIOStrategy(self.hints)
 
@@ -227,7 +260,10 @@ class HDF5Strategy(IOStrategy):
         stats = IOStats(strategy=self.name, operation="read_initial")
         t0 = comm.clock
         meta = self.read_meta_sidecar(comm, base)
-        f = H5File.open(comm, base, driver="mpio", hints=self.hints, costs=self.costs)
+        f = H5File.open(
+            comm, base, driver="mpio", hints=self.hints, costs=self.costs,
+            retry=self.retry,
+        )
         from .io_mpiio import MPIIOStrategy
 
         helper = MPIIOStrategy(self.hints)

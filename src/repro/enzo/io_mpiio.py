@@ -24,6 +24,8 @@ from ..mpi.comm import Comm
 from ..mpi.datatypes import FLOAT64, Subarray
 from ..mpiio.file import File
 from ..mpiio.hints import Hints
+from ..resilience.manifest import entry_for_bytes, entry_for_segments
+from ..resilience.retry import RetryPolicy
 from .io_base import IOStats, IOStrategy
 from .layout import TOP, CheckpointLayout
 from .meta import array_dtype
@@ -38,8 +40,11 @@ class MPIIOStrategy(IOStrategy):
 
     name = "mpi-io"
 
-    def __init__(self, hints: Hints | None = None):
+    def __init__(
+        self, hints: Hints | None = None, retry: RetryPolicy | None = None
+    ):
         self.hints = hints or Hints()
+        self.retry = retry
 
     # -- write -------------------------------------------------------------
 
@@ -48,7 +53,8 @@ class MPIIOStrategy(IOStrategy):
         t0 = comm.clock
         layout = CheckpointLayout(state.meta)
         self.write_meta_sidecar(comm, base, state.meta)
-        fh = File.open(comm, base, "w", hints=self.hints)
+        fh = File.open(comm, base, "w", hints=self.hints, retry=self.retry)
+        entries = []
 
         # Phase 1: top-grid baryon fields, collective with subarray views.
         t = comm.clock
@@ -58,7 +64,16 @@ class MPIIOStrategy(IOStrategy):
             ext = layout.extent(TOP, name)
             ftype = Subarray(root_dims, sizes, starts, FLOAT64)
             fh.set_view(ext.offset, FLOAT64, ftype)
-            fh.write_at_all(0, arr)
+            self._collective_or_degraded(
+                comm, base,
+                lambda: fh.write_at_all(0, arr),
+                lambda: fh.write_at(0, arr),
+                nbytes=arr.nbytes,
+            )
+            entries.append(entry_for_segments(
+                f"top/field/{name}/r{comm.rank:04d}", base,
+                fh.view_segments(0, arr.nbytes), arr,
+            ))
             stats.bytes_moved += arr.nbytes
         stats.add_phase("top_fields", comm.clock - t)
 
@@ -71,7 +86,11 @@ class MPIIOStrategy(IOStrategy):
         for name in PARTICLE_ARRAYS:
             ext = layout.extent(TOP, name, "particle")
             arr = np.ascontiguousarray(sorted_parts.array(name))
-            fh.write_at(ext.offset + elem_offset * ext.dtype.itemsize, arr)
+            offset = ext.offset + elem_offset * ext.dtype.itemsize
+            fh.write_at(offset, arr)
+            entries.append(entry_for_bytes(
+                f"top/particle/{name}/r{comm.rank:04d}", base, offset, arr
+            ))
             stats.bytes_moved += arr.nbytes
         stats.add_phase("top_particles", comm.clock - t)
 
@@ -82,16 +101,23 @@ class MPIIOStrategy(IOStrategy):
             for name, arr in grid.fields.items():
                 ext = layout.extent(gid, name)
                 fh.write_at(ext.offset, arr)
+                entries.append(entry_for_bytes(
+                    f"grid{gid}/field/{name}", base, ext.offset, arr
+                ))
                 stats.bytes_moved += arr.nbytes
             gparts = grid.particles.sort_by_id()
             for name in PARTICLE_ARRAYS:
                 ext = layout.extent(gid, name, "particle")
                 arr = np.ascontiguousarray(gparts.array(name))
                 fh.write_at(ext.offset, arr)
+                entries.append(entry_for_bytes(
+                    f"grid{gid}/particle/{name}", base, ext.offset, arr
+                ))
                 stats.bytes_moved += arr.nbytes
         stats.add_phase("subgrids", comm.clock - t)
 
         fh.close()
+        self.write_manifest(comm, base, entries)
         stats.elapsed = comm.clock - t0
         return stats
 
@@ -101,9 +127,10 @@ class MPIIOStrategy(IOStrategy):
         stats = IOStats(strategy=self.name, operation="read")
         t0 = comm.clock
         meta = self.read_meta_sidecar(comm, base)
+        self.verify_manifest(comm, base)
         layout = CheckpointLayout(meta)
         partition = BlockPartition(meta.root.dims, comm.size)
-        fh = File.open(comm, base, "r", hints=self.hints)
+        fh = File.open(comm, base, "r", hints=self.hints, retry=self.retry)
 
         # Phase 1: top-grid fields, collective subarray reads.
         t = comm.clock
@@ -218,7 +245,7 @@ class MPIIOStrategy(IOStrategy):
         t0 = comm.clock
         meta = self.read_meta_sidecar(comm, base)
         layout = CheckpointLayout(meta)
-        fh = File.open(comm, base, "r", hints=self.hints)
+        fh = File.open(comm, base, "r", hints=self.hints, retry=self.retry)
         state = PartitionedState(rank=comm.rank, nprocs=comm.size, meta=meta)
         for g in meta.grids():
             gid = g.id

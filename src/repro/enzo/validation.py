@@ -16,6 +16,8 @@ from ..amr.fields import BARYON_FIELDS
 from ..amr.particles import PARTICLE_ARRAYS
 from ..mpi.runner import run_spmd
 from ..pfs.base import FileSystem
+from ..resilience.manifest import ManifestVerificationError
+from ..sim.errors import RankFailedError
 from ..topology.machine import Machine
 from ..topology.network import Network
 from .io_base import IOStrategy
@@ -78,16 +80,21 @@ class ValidationReport:
         self.missing: list[tuple] = []
         self.extra: list[tuple] = []
         self.mismatched: list[tuple] = []
+        self.corrupt: list[str] = []  # manifest-verification failures
         self.compared = 0
 
     @property
     def ok(self) -> bool:
-        return not (self.missing or self.extra or self.mismatched)
+        return not (
+            self.missing or self.extra or self.mismatched or self.corrupt
+        )
 
     def summary(self) -> str:
         if self.ok:
             return f"OK: {self.compared} arrays bit-identical"
         parts = [f"compared {self.compared}"]
+        if self.corrupt:
+            parts.append(f"corrupt: {self.corrupt[0]}")
         if self.missing:
             parts.append(f"missing {len(self.missing)} (e.g. {self.missing[0]})")
         if self.extra:
@@ -107,10 +114,29 @@ def compare_checkpoints(
     strategy_b: IOStrategy,
     base_b: str,
 ) -> ValidationReport:
-    """Array-by-array comparison of two checkpoints (any strategies)."""
-    a = read_checkpoint_arrays(fs_a, strategy_a, base_a)
-    b = read_checkpoint_arrays(fs_b, strategy_b, base_b)
+    """Array-by-array comparison of two checkpoints (any strategies).
+
+    A checkpoint that fails its manifest integrity scan is reported as
+    corrupt (``report.ok`` False, the key-space it covers listed under
+    ``mismatched``) rather than raising -- validation's job is to report.
+    """
     report = ValidationReport()
+    try:
+        a = read_checkpoint_arrays(fs_a, strategy_a, base_a)
+    except RankFailedError as err:
+        if not isinstance(err.__cause__, ManifestVerificationError):
+            raise
+        report.corrupt.append(f"{base_a}: {err.__cause__}")
+        report.mismatched.append((base_a,))
+        return report
+    try:
+        b = read_checkpoint_arrays(fs_b, strategy_b, base_b)
+    except RankFailedError as err:
+        if not isinstance(err.__cause__, ManifestVerificationError):
+            raise
+        report.corrupt.append(f"{base_b}: {err.__cause__}")
+        report.mismatched.append((base_b,))
+        return report
     report.missing = sorted(set(a) - set(b), key=str)
     report.extra = sorted(set(b) - set(a), key=str)
     for key in sorted(set(a) & set(b), key=str):

@@ -109,6 +109,7 @@ class SDFile:
         mode: str = "r",
         *,
         fs: Optional[FileSystem] = None,
+        retry=None,
     ) -> "SDFile":
         """SDstart: open ``path`` on the calling rank only."""
         if mode not in ("r", "w"):
@@ -124,7 +125,7 @@ class SDFile:
         else:
             done = fs.open(path, node=node, ready_time=proc.clock)
         proc.advance_to(done)
-        return cls(ADIOFile(fs, path, comm), comm, mode)
+        return cls(ADIOFile(fs, path, comm, retry=retry), comm, mode)
 
     def end(self) -> None:
         """SDend: flush the DD table and header (write mode), then close."""

@@ -88,15 +88,28 @@ class H5Dataset:
 
     # -- selection plumbing ---------------------------------------------------
 
-    def _segments(self, selection: Optional[Hyperslab]) -> list[tuple[int, int]]:
+    def file_segments(
+        self, selection: Optional[Hyperslab] = None
+    ) -> list[tuple[int, int]]:
+        """The (file_offset, nbytes) byte segments a selection occupies.
+
+        Pure address arithmetic, no simulated cost -- usable by manifest
+        builders that need the layout without re-charging the packing CPU
+        time the actual I/O already paid.
+        """
         sel = selection if selection is not None else self.space.select_all()
         starts, run_len = sel.file_runs(self.space)
         item = self.dtype.itemsize
         base = self.header.data_offset
-        # Charge the recursive hyperslab packing cost.
-        self._f.comm.compute(len(starts) * self._f.costs.pack_per_run)
         segs = [(base + int(s) * item, run_len * item) for s in starts]
         return merge_segments(segs)
+
+    def _segments(self, selection: Optional[Hyperslab]) -> list[tuple[int, int]]:
+        sel = selection if selection is not None else self.space.select_all()
+        starts, _run_len = sel.file_runs(self.space)
+        # Charge the recursive hyperslab packing cost.
+        self._f.comm.compute(len(starts) * self._f.costs.pack_per_run)
+        return self.file_segments(sel)
 
     def _check_buffer(self, data: np.ndarray, selection: Optional[Hyperslab]):
         sel = selection if selection is not None else self.space.select_all()
@@ -231,6 +244,7 @@ class H5File:
         fs: Optional[FileSystem] = None,
         hints: Optional[Hints] = None,
         costs: Optional[H5Costs] = None,
+        retry=None,
     ) -> "H5File":
         if mode not in ("r", "w"):
             raise ValueError(f"bad mode {mode!r}")
@@ -268,7 +282,7 @@ class H5File:
             proc.advance_to(done)
         return cls(
             comm,
-            ADIOFile(fs, path, comm),
+            ADIOFile(fs, path, comm, retry=retry),
             mode,
             parallel=parallel,
             hints=(hints or Hints()).validate(),

@@ -25,9 +25,9 @@ from .rules import Thresholds, diagnose
 __all__ = ["AutoTuner", "TuningReport", "TuningStep", "STRATEGY_UPGRADES"]
 
 STRATEGY_FACTORIES = {
-    "hdf4": lambda hints: HDF4Strategy(),
-    "mpi-io": lambda hints: MPIIOStrategy(hints=hints),
-    "hdf5": lambda hints: HDF5Strategy(hints=hints),
+    "hdf4": lambda hints, retry=None: HDF4Strategy(retry=retry),
+    "mpi-io": lambda hints, retry=None: MPIIOStrategy(hints=hints, retry=retry),
+    "hdf5": lambda hints, retry=None: HDF5Strategy(hints=hints, retry=retry),
 }
 
 #: the escalation the paper's measurements justify: both the serial HDF4
@@ -142,6 +142,7 @@ class AutoTuner:
         hints: Hints | None = None,
         max_rounds: int = 3,
         thresholds: Thresholds | None = None,
+        retry=None,
     ):
         if strategy not in STRATEGY_FACTORIES:
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -152,6 +153,7 @@ class AutoTuner:
         self.hints = hints or Hints()
         self.max_rounds = max_rounds
         self.thresholds = thresholds
+        self.retry = retry  # resilience.RetryPolicy, threaded to strategies
 
     # -- one traced run ----------------------------------------------------
 
@@ -162,7 +164,7 @@ class AutoTuner:
         machine = self.machine_factory(self.nprocs)
         result, trace = run_traced_experiment(
             machine,
-            STRATEGY_FACTORIES[strategy](hints),
+            STRATEGY_FACTORIES[strategy](hints, retry=self.retry),
             build_workload(self.problem),
             nprocs=self.nprocs,
             do_read=False,

@@ -2,10 +2,11 @@
 
 Each module groups related rules:
 
-* :mod:`.requests` -- request-size and access-order pathologies;
-* :mod:`.layout`   -- file-count, alignment, and shared-file findings;
-* :mod:`.balance`  -- rank/node byte-distribution findings;
-* :mod:`.metadata` -- namespace-churn findings.
+* :mod:`.requests`   -- request-size and access-order pathologies;
+* :mod:`.layout`     -- file-count, alignment, and shared-file findings;
+* :mod:`.balance`    -- rank/node byte-distribution findings;
+* :mod:`.metadata`   -- namespace-churn findings;
+* :mod:`.resilience` -- retry-storm and degraded-collective findings.
 """
 
-from . import balance, layout, metadata, requests  # noqa: F401
+from . import balance, layout, metadata, requests, resilience  # noqa: F401

@@ -56,6 +56,11 @@ class Thresholds:
     #: read-modify-write amplification (reads observed during a write phase)
     rmw_ratio_warn: float = 0.15
     rmw_ratio_high: float = 0.50
+    #: resilience findings: retries per data request
+    retry_ratio_warn: float = 0.05
+    retry_ratio_high: float = 0.25
+    #: ... and degraded collective-to-independent fallbacks per run
+    degraded_high: int = 4
 
 
 @dataclass

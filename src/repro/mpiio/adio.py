@@ -16,7 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..mpi.comm import Comm
-from ..pfs.base import FileSystem
+from ..pfs.base import FileSystem, InjectedIOError
+from ..resilience.retry import RetryPolicy
 
 __all__ = ["ADIOFile", "as_byte_view"]
 
@@ -29,12 +30,23 @@ def as_byte_view(data) -> memoryview:
 
 
 class ADIOFile:
-    """Per-rank handle for raw contiguous file access with timing."""
+    """Per-rank handle for raw contiguous file access with timing.
 
-    def __init__(self, fs: FileSystem, path: str, comm: Comm):
+    With a :class:`~repro.resilience.RetryPolicy` attached, every primitive
+    retries transient :class:`~repro.pfs.base.InjectedIOError` failures up
+    to ``max_retries`` times, backing off in simulated time between
+    attempts and reporting each retry / recovery / give-up through
+    :meth:`FileSystem.notify_recovery` (visible in the trace).  Without a
+    policy the first failure propagates, as before.
+    """
+
+    def __init__(
+        self, fs: FileSystem, path: str, comm: Comm, retry: RetryPolicy | None = None
+    ):
         self.fs = fs
         self.path = path
         self.comm = comm
+        self.retry = retry
         self._closed = False
 
     @property
@@ -46,53 +58,106 @@ class ADIOFile:
         if self._closed:
             raise ValueError(f"I/O on closed file {self.path!r}")
 
+    # -- retry engine -----------------------------------------------------
+
+    def _issue(self, issue, nbytes: int):
+        """Run ``issue(ready_time) -> (result, done)`` with bounded retries.
+
+        Retries only the file-system failure mode (``InjectedIOError``);
+        programming errors propagate immediately.  Each retry advances the
+        rank's clock by the policy's backoff, so recovery costs simulated
+        time like everything else.
+        """
+        proc = self.comm.proc
+        proc.schedule_point()
+        policy = self.retry
+        attempt = 0
+        while True:
+            issued_at = proc.clock
+            try:
+                result, done = issue(issued_at)
+            except InjectedIOError:
+                if policy is None or attempt >= policy.max_retries:
+                    if policy is not None and policy.max_retries > 0:
+                        self.fs.notify_recovery(
+                            self.path, "giveup", node=self._node,
+                            time=proc.clock, attempt=attempt, nbytes=nbytes,
+                        )
+                    raise
+                attempt += 1
+                proc.advance(policy.backoff(attempt))
+                self.fs.notify_recovery(
+                    self.path, "retry", node=self._node,
+                    time=proc.clock, attempt=attempt, nbytes=nbytes,
+                )
+                continue
+            if attempt > 0:
+                self.fs.notify_recovery(
+                    self.path, "recovered", node=self._node,
+                    time=done, attempt=attempt, nbytes=nbytes,
+                )
+            if (
+                policy is not None
+                and policy.op_timeout > 0
+                and done - issued_at > policy.op_timeout
+            ):
+                self.fs.notify_recovery(
+                    self.path, "slow-op", node=self._node,
+                    time=done, attempt=attempt, nbytes=nbytes,
+                )
+            proc.advance_to(done)
+            return result
+
     # -- contiguous primitives -------------------------------------------
 
     def read_contig(self, offset: int, nbytes: int) -> bytes:
         """Blocking contiguous read; advances the rank's clock."""
         self._check_open()
-        proc = self.comm.proc
-        proc.schedule_point()
-        data, done = self.fs.read(
-            self.path, offset, nbytes, node=self._node, ready_time=proc.clock
-        )
-        proc.advance_to(done)
-        return data
+
+        def issue(ready_time):
+            return self.fs.read(
+                self.path, offset, nbytes, node=self._node, ready_time=ready_time
+            )
+
+        return self._issue(issue, nbytes)
 
     def write_contig(self, offset: int, data) -> int:
         """Blocking contiguous write; advances the rank's clock."""
         self._check_open()
         buf = as_byte_view(data)
-        proc = self.comm.proc
-        proc.schedule_point()
-        done = self.fs.write(
-            self.path, offset, buf, node=self._node, ready_time=proc.clock
-        )
-        proc.advance_to(done)
-        return len(buf)
+
+        def issue(ready_time):
+            done = self.fs.write(
+                self.path, offset, buf, node=self._node, ready_time=ready_time
+            )
+            return len(buf), done
+
+        return self._issue(issue, len(buf))
 
     def read_list(self, segments: list[tuple[int, int]]) -> bytes:
         """One list-I/O read request covering all ``segments``."""
         self._check_open()
-        proc = self.comm.proc
-        proc.schedule_point()
-        data, done = self.fs.read_list(
-            self.path, segments, node=self._node, ready_time=proc.clock
-        )
-        proc.advance_to(done)
-        return data
+        total = sum(n for _, n in segments)
+
+        def issue(ready_time):
+            return self.fs.read_list(
+                self.path, segments, node=self._node, ready_time=ready_time
+            )
+
+        return self._issue(issue, total)
 
     def write_list(self, segments: list[tuple[int, int]], data) -> int:
         """One list-I/O write request covering all ``segments``."""
         self._check_open()
         buf = as_byte_view(data)
-        proc = self.comm.proc
-        proc.schedule_point()
-        done = self.fs.write_list(
-            self.path, segments, buf, node=self._node, ready_time=proc.clock
-        )
-        proc.advance_to(done)
-        return len(buf)
+
+        def issue(ready_time):
+            done = self.fs.write_list(
+                self.path, segments, buf, node=self._node, ready_time=ready_time
+            )
+            return len(buf), done
+
+        return self._issue(issue, len(buf))
 
     # -- metadata ------------------------------------------------------------
 

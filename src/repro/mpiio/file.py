@@ -57,10 +57,13 @@ class File:
         *,
         fs: Optional[FileSystem] = None,
         hints: Optional[Hints] = None,
+        retry=None,
     ) -> "File":
         """Collectively open ``path``.  Modes: 'r', 'w' (create), 'rw', 'a'.
 
-        ``fs`` defaults to the machine's attached file system.
+        ``fs`` defaults to the machine's attached file system.  ``retry``
+        is an optional :class:`~repro.resilience.RetryPolicy` applied to
+        every data operation on the returned handle.
         """
         if mode not in ("r", "w", "rw", "a"):
             raise ValueError(f"bad mode {mode!r}")
@@ -95,7 +98,7 @@ class File:
                 ready_time=proc.clock,
             )
             proc.advance_to(done)
-        return cls(comm, ADIOFile(fs, path, comm), hints)
+        return cls(comm, ADIOFile(fs, path, comm, retry=retry), hints)
 
     def close(self) -> None:
         """Collective close; flushes any write-behind buffer first."""
@@ -151,6 +154,12 @@ class File:
         if self.view.is_contiguous:
             return [(self.view.disp + stream_off, nbytes)] if nbytes else []
         return self.view.map_stream(stream_off, nbytes)
+
+    def view_segments(self, offset_etypes: int, nbytes: int) -> list[tuple[int, int]]:
+        """The (file_offset, nbytes) segments ``nbytes`` of data occupy
+        under the current view -- what a manifest needs to checksum a
+        rank's share of a collective write."""
+        return self._segments_for(offset_etypes, nbytes)
 
     @staticmethod
     def _nbytes(buf) -> int:

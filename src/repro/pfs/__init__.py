@@ -9,7 +9,16 @@
 * :class:`StripeLayout` -- striping arithmetic.
 """
 
-from .base import FileSystem, FSCounters, InjectedIOError, LRUCache
+from .base import (
+    FAULT_MODES,
+    FAULT_OPS,
+    FaultSpec,
+    FileSystem,
+    FSCounters,
+    InjectedIOError,
+    LRUCache,
+    TornWriteError,
+)
 from .blockstore import BlockStore, FileExists, FileNotFound, StoredFile
 from .localfs import LocalDiskFS
 from .striped import IOServer, StripedServerFS, coalesce_runs
@@ -20,6 +29,10 @@ __all__ = [
     "FSCounters",
     "LRUCache",
     "InjectedIOError",
+    "TornWriteError",
+    "FaultSpec",
+    "FAULT_OPS",
+    "FAULT_MODES",
     "BlockStore",
     "StoredFile",
     "FileNotFound",

@@ -11,12 +11,22 @@ read-caching effects the paper observes on PVFS.
 
 from __future__ import annotations
 
+import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from .blockstore import BlockStore
 
-__all__ = ["FileSystem", "FSCounters", "LRUCache", "InjectedIOError"]
+__all__ = [
+    "FileSystem",
+    "FSCounters",
+    "FaultSpec",
+    "LRUCache",
+    "InjectedIOError",
+    "TornWriteError",
+    "FAULT_MODES",
+    "FAULT_OPS",
+]
 
 
 @dataclass
@@ -29,15 +39,105 @@ class FSCounters:
     bytes_written: int = 0
     opens: int = 0
     metadata_ops: int = 0
+    recoveries: int = 0
 
     def reset(self) -> None:
         self.reads = self.writes = 0
         self.bytes_read = self.bytes_written = 0
         self.opens = self.metadata_ops = 0
+        self.recoveries = 0
 
 
 class InjectedIOError(OSError):
     """Raised by a file system when a scheduled fault fires."""
+
+
+class TornWriteError(InjectedIOError):
+    """A write fault that persisted only a prefix of the request.
+
+    Models a crash mid-write: part of the data reaches the store before
+    the error surfaces, so the file holds a torn (partially-updated)
+    region that only checksum verification can detect.
+    """
+
+
+FAULT_OPS = ("read", "write", "meta")
+FAULT_MODES = ("oneshot", "persistent", "probabilistic", "torn")
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault and its firing discipline.
+
+    Modes:
+
+    - ``oneshot``: fire on the first match (after ``after`` skipped
+      matches), then disarm -- the pre-existing behaviour.
+    - ``persistent``: fire on *every* match; models a dead device or a
+      permissions failure that never heals.
+    - ``probabilistic``: fire on each match with ``probability``, using a
+      private ``random.Random(seed)`` stream so runs are reproducible.
+    - ``torn`` (writes only): persist the first ``torn_fraction`` of the
+      request's bytes, then raise :class:`TornWriteError`; disarms after
+      firing like ``oneshot``.
+
+    ``min_nbytes`` restricts data faults to requests at least that large
+    (useful for hitting aggregated collective writes while letting the
+    small independent fallback writes through).
+    """
+
+    op: str
+    path_substring: str = ""
+    after: int = 0
+    mode: str = "oneshot"
+    probability: float = 1.0
+    min_nbytes: int = 0
+    torn_fraction: float = 0.5
+    seed: int = 0
+    fired: int = 0
+    _skips_left: int = field(init=False, default=0, repr=False)
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in FAULT_OPS:
+            raise ValueError(f"unknown op {self.op!r} (expected one of {FAULT_OPS})")
+        if self.mode not in FAULT_MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r} (expected one of {FAULT_MODES})"
+            )
+        if self.mode == "torn" and self.op != "write":
+            raise ValueError("torn faults only apply to op='write'")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if self.min_nbytes < 0:
+            raise ValueError("min_nbytes must be >= 0")
+        if not 0.0 <= self.torn_fraction < 1.0:
+            raise ValueError("torn_fraction must be in [0, 1)")
+        self._skips_left = self.after
+        self._rng = random.Random(self.seed)
+
+    def matches(self, op: str, path: str, nbytes: int) -> bool:
+        return (
+            op == self.op
+            and self.path_substring in path
+            and nbytes >= self.min_nbytes
+        )
+
+    def should_fire(self) -> bool:
+        """Consume one match; True when the fault fires on it."""
+        if self._skips_left > 0:
+            self._skips_left -= 1
+            return False
+        if self.mode == "probabilistic" and self._rng.random() >= self.probability:
+            return False
+        self.fired += 1
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.mode in ("oneshot", "torn") and self.fired > 0
 
 
 class FileSystem:
@@ -48,38 +148,128 @@ class FileSystem:
     implementations are zero-cost (an "infinitely fast" file system), which
     is what the unit tests of higher layers use.
 
-    Fault injection: :meth:`inject_fault` arms one-shot failures so tests
-    can verify that I/O errors surface cleanly through every library layer
-    (they become :class:`~repro.sim.errors.RankFailedError` at the engine).
+    Fault injection: :meth:`inject_fault` arms :class:`FaultSpec` failures
+    (one-shot, persistent, probabilistic, or torn-write) so tests can
+    verify that I/O errors surface cleanly through every library layer
+    (they become :class:`~repro.sim.errors.RankFailedError` at the engine)
+    and that the resilience layer recovers from them.
     """
 
     def __init__(self, name: str = "nullfs", store: BlockStore | None = None):
         self.name = name
         self.store = store if store is not None else BlockStore()
         self.counters = FSCounters()
-        self._faults: list[tuple[str, str, int]] = []
+        self._faults: list[FaultSpec] = []
 
     # -- fault injection -----------------------------------------------------
 
-    def inject_fault(self, op: str, path_substring: str = "", *, after: int = 0) -> None:
-        """Arm a one-shot fault: the ``after``-th matching op raises.
+    def inject_fault(
+        self,
+        op: str,
+        path_substring: str = "",
+        *,
+        after: int = 0,
+        mode: str = "oneshot",
+        probability: float = 1.0,
+        min_nbytes: int = 0,
+        torn_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> FaultSpec:
+        """Arm a fault; see :class:`FaultSpec` for the firing modes.
 
-        ``op`` is "read", "write" or "meta"; the fault fires on the first
-        matching operation once ``after`` earlier matches have passed.
+        ``op`` is "read", "write" or "meta"; the fault considers matching
+        operations once ``after`` earlier matches have passed.  Unknown
+        ``op``/``mode`` values and out-of-range parameters raise
+        :class:`ValueError` immediately -- a silently ignored fault spec
+        would make a fault-injection test vacuously pass.  Returns the
+        armed spec so callers can inspect ``spec.fired``.
         """
-        if op not in ("read", "write", "meta"):
-            raise ValueError(f"unknown op {op!r}")
-        self._faults.append((op, path_substring, after))
+        spec = FaultSpec(
+            op=op,
+            path_substring=path_substring,
+            after=after,
+            mode=mode,
+            probability=probability,
+            min_nbytes=min_nbytes,
+            torn_fraction=torn_fraction,
+            seed=seed,
+        )
+        self._faults.append(spec)
+        return spec
 
-    def _check_fault(self, op: str, path: str) -> None:
-        for i, (fop, sub, after) in enumerate(self._faults):
-            if fop != op or sub not in path:
+    def clear_faults(self) -> None:
+        """Disarm every fault (e.g. between test phases)."""
+        self._faults.clear()
+
+    def _check_fault(self, op: str, path: str, nbytes: int = 0) -> FaultSpec | None:
+        """Raise if an armed non-torn fault fires; return a firing torn spec.
+
+        Torn faults are returned instead of raised so :meth:`write` can
+        persist the partial prefix before surfacing the error.
+        """
+        for spec in list(self._faults):
+            if not spec.matches(op, path, nbytes):
                 continue
-            if after > 0:
-                self._faults[i] = (fop, sub, after - 1)
-                return
-            del self._faults[i]
+            if not spec.should_fire():
+                continue
+            if spec.exhausted:
+                self._faults.remove(spec)
+            if spec.mode == "torn":
+                return spec
             raise InjectedIOError(f"injected {op} fault on {path!r}")
+        return None
+
+    def _tear_write(self, spec: FaultSpec, path: str, offset: int, buf) -> None:
+        """Persist the torn prefix of ``buf`` and raise TornWriteError."""
+        n_keep = int(len(buf) * spec.torn_fraction)
+        if n_keep > 0:
+            f = self.store.open(path, create=True)
+            f.write(offset, buf[:n_keep])
+            self.counters.writes += 1
+            self.counters.bytes_written += n_keep
+        raise TornWriteError(
+            f"injected torn write on {path!r}: {n_keep}/{len(buf)} bytes persisted"
+        )
+
+    def _tear_write_list(self, spec: FaultSpec, path: str, segments, buf) -> None:
+        """Torn list-write: persist a prefix of the segment stream, then raise."""
+        n_keep = int(len(buf) * spec.torn_fraction)
+        if n_keep > 0:
+            f = self.store.open(path, create=True)
+            pos = 0
+            for off, n in segments:
+                if pos >= n_keep:
+                    break
+                take = min(n, n_keep - pos)
+                f.write(off, buf[pos : pos + take])
+                pos += take
+            self.counters.writes += 1
+            self.counters.bytes_written += n_keep
+        raise TornWriteError(
+            f"injected torn write on {path!r}: {n_keep}/{len(buf)} bytes persisted"
+        )
+
+    # -- recovery notification ------------------------------------------------
+
+    def notify_recovery(
+        self,
+        path: str,
+        kind: str,
+        *,
+        node: int = 0,
+        time: float = 0.0,
+        attempt: int = 0,
+        nbytes: int = 0,
+    ) -> None:
+        """Report a resilience event (retry / recovered / degraded / ...).
+
+        Counted in :attr:`FSCounters.recoveries` and forwarded to the
+        :meth:`_service_recovery` hook, which tracing wraps so recovery
+        shows up in the :class:`~repro.core.trace.IOTrace` alongside the
+        I/O it rescued.
+        """
+        self.counters.recoveries += 1
+        self._service_recovery(path, kind, node, time, attempt, nbytes)
 
     # -- namespace ------------------------------------------------------
 
@@ -117,7 +307,7 @@ class FileSystem:
         self, path: str, offset: int, nbytes: int, *, node: int = 0, ready_time: float = 0.0
     ) -> tuple[bytes, float]:
         """Read bytes; returns ``(data, completion_time)``."""
-        self._check_fault("read", path)
+        self._check_fault("read", path, nbytes)
         f = self.store.open(path)
         data = f.read(offset, nbytes)
         self.counters.reads += 1
@@ -135,7 +325,10 @@ class FileSystem:
         ready_time: float = 0.0,
     ) -> float:
         """Write bytes; returns the completion time."""
-        self._check_fault("write", path)
+        buf = memoryview(data).cast("B")
+        torn = self._check_fault("write", path, len(buf))
+        if torn is not None:
+            self._tear_write(torn, path, offset, buf)
         f = self.store.open(path, create=True)
         n = f.write(offset, data)
         self.counters.writes += 1
@@ -160,7 +353,7 @@ class FileSystem:
         bytes and the completion time.  The base implementation simply
         loops; performance-model subclasses override the timing.
         """
-        self._check_fault("read", path)
+        self._check_fault("read", path, sum(n for _, n in segments))
         f = self.store.open(path)
         data = b"".join(f.read(off, n) for off, n in segments)
         self.counters.reads += 1
@@ -178,11 +371,13 @@ class FileSystem:
         ready_time: float = 0.0,
     ) -> float:
         """Write ``data`` into many (offset, nbytes) segments as ONE request."""
-        self._check_fault("write", path)
         buf = memoryview(data).cast("B")
         total = sum(n for _, n in segments)
         if len(buf) != total:
             raise ValueError(f"data has {len(buf)} bytes, segments need {total}")
+        torn = self._check_fault("write", path, total)
+        if torn is not None:
+            self._tear_write_list(torn, path, segments, buf)
         f = self.store.open(path, create=True)
         pos = 0
         for off, n in segments:
@@ -223,6 +418,11 @@ class FileSystem:
 
     def _service_meta(self, op: str, path: str, node: int, ready_time: float) -> float:
         return ready_time
+
+    def _service_recovery(
+        self, path: str, kind: str, node: int, time: float, attempt: int, nbytes: int
+    ) -> None:
+        """Observability hook for recovery events; wrapped by tracing."""
 
     def reset_timing(self) -> None:
         """Zero device timelines (keep data and cache contents).

@@ -1,0 +1,38 @@
+"""Crash-consistent checkpointing: fault tolerance for the I/O stack.
+
+Three pieces make checkpoint/restart survive injected failures end-to-end:
+
+- :class:`RetryPolicy` -- bounded retries with simulated-time backoff,
+  wired through the ADIO layer so every strategy inherits it;
+- :class:`CheckpointManifest` / :class:`ManifestEntry` -- per-dataset
+  checksums written as a ``<base>.manifest`` sidecar by every strategy,
+  verified at restart so a torn or incomplete dump fails loudly with
+  :class:`ManifestVerificationError` instead of loading corrupt state;
+- recovery events (``op="recovery"`` in :class:`~repro.core.trace.IOTrace`)
+  feeding the ``retry-storm`` / ``degraded-collective`` insight rules.
+
+Fault modes themselves (one-shot, persistent, probabilistic, torn-write)
+live in :mod:`repro.pfs.base`; this package is the policy layer above.
+"""
+
+from .manifest import (
+    CheckpointManifest,
+    ManifestEntry,
+    ManifestVerificationError,
+    checksum_bytes,
+    entry_for_bytes,
+    entry_for_segments,
+    manifest_path,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "CheckpointManifest",
+    "ManifestEntry",
+    "ManifestVerificationError",
+    "RetryPolicy",
+    "checksum_bytes",
+    "entry_for_bytes",
+    "entry_for_segments",
+    "manifest_path",
+]

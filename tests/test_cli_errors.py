@@ -1,0 +1,113 @@
+"""CLI error paths: exit codes for bad input, broken pipes, and faults.
+
+Conventions under test: 0 success, 1 failed run/check, 2 usage error
+(missing or unparsable input), 141 (= 128 + SIGPIPE) when the output
+consumer hangs up.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyzeTraceErrors:
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        rc = main(["analyze", "--trace", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_directory_exits_2(self, tmp_path, capsys):
+        rc = main(["analyze", "--trace", str(tmp_path)])
+        assert rc == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_corrupt_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = main(["analyze", "--trace", str(bad)])
+        assert rc == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_wrong_schema_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps([{"surprise": 1}]))
+        rc = main(["analyze", "--trace", str(bad)])
+        assert rc == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+
+class TestInsightsErrors:
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        rc = main(["insights", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_check_gates_on_high_findings(self, tmp_path):
+        trace = tmp_path / "t.json"
+        # An hdf4 dump funnels everything through P0 -- reliably HIGH.
+        assert main(["analyze", "--problem", "AMR16", "--procs", "4",
+                     "--strategy", "hdf4",
+                     "--save-trace", str(trace)]) == 0
+        assert main(["insights", str(trace), "--procs", "4"]) == 0
+        assert main(["insights", str(trace), "--procs", "4", "--check"]) == 1
+
+
+class TestSigpipe:
+    def test_broken_pipe_exits_141(self, monkeypatch):
+        class BrokenStdout:
+            """A consumer that hung up: every write raises EPIPE."""
+
+            def __init__(self):
+                self._fd = os.open(os.devnull, os.O_WRONLY)
+
+            def write(self, s):
+                raise BrokenPipeError
+
+            def flush(self):
+                pass
+
+            def fileno(self):
+                return self._fd
+
+        monkeypatch.setattr(sys, "stdout", BrokenStdout())
+        assert main(["table1"]) == 141
+
+
+class TestSimulateFaultPaths:
+    def test_bad_inject_spec_exits_2(self, capsys):
+        rc = main(["simulate", "--problem", "AMR16", "--procs", "2",
+                   "--cycles", "1", "--inject", "write:bogus"])
+        assert rc == 2
+        assert "bad --inject spec" in capsys.readouterr().err
+
+    def test_unknown_inject_op_exits_2(self, capsys):
+        rc = main(["simulate", "--problem", "AMR16", "--procs", "2",
+                   "--cycles", "1", "--inject", "sync"])
+        assert rc == 2
+        assert "unknown op" in capsys.readouterr().err
+
+    def test_fault_without_retries_exits_1(self, capsys):
+        rc = main(["simulate", "--problem", "AMR16", "--procs", "2",
+                   "--cycles", "1", "--inject", "write:torn:run"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "simulation failed" in err and "--retries" in err
+
+    def test_fault_with_retries_exits_0(self, capsys):
+        rc = main(["simulate", "--problem", "AMR16", "--procs", "2",
+                   "--cycles", "1", "--inject", "write:torn:run",
+                   "--retries", "2"])
+        assert rc == 0
+        assert "verified bit-exact" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("argv", [["--retries", "2"], []])
+def test_analyze_accepts_retries_flag(argv, capsys):
+    rc = main(["analyze", "--problem", "AMR16", "--procs", "2",
+               "--strategy", "mpi-io", *argv])
+    assert rc == 0
+    assert "dump of AMR16" in capsys.readouterr().out

@@ -143,13 +143,14 @@ def test_checkpoint_files_differ_by_strategy(hierarchy):
 
     run_spmd(machine, program, args=(MPIIOStrategy,))
     files = machine.fs.store.listdir()
-    assert files == ["ckpt", "ckpt.hierarchy"]
+    assert files == ["ckpt", "ckpt.hierarchy", "ckpt.manifest"]
 
     machine4 = make_machine(2)
     run_spmd(machine4, program, args=(HDF4Strategy,))
     files4 = machine4.fs.store.listdir()
     assert "ckpt.grid0000" in files4
-    assert len(files4) == 2 + len(hierarchy.subgrids())
+    # sidecar + manifest + top-grid file + one file per subgrid
+    assert len(files4) == 3 + len(hierarchy.subgrids())
 
 
 def test_deterministic_checkpoint_bytes(hierarchy):

@@ -1,0 +1,197 @@
+"""Fault-injection modes and spec validation (pfs.base resilience layer)."""
+
+import pytest
+
+from repro.pfs import (
+    FAULT_MODES,
+    FAULT_OPS,
+    FaultSpec,
+    FileSystem,
+    InjectedIOError,
+    TornWriteError,
+)
+
+
+class TestSpecValidation:
+    """A silently ignored fault spec makes a fault test vacuously pass, so
+    every malformed spec must raise ValueError at arming time."""
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            FileSystem().inject_fault("sync")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FileSystem().inject_fault("write", mode="sometimes")
+
+    def test_torn_requires_write(self):
+        with pytest.raises(ValueError, match="torn"):
+            FileSystem().inject_fault("read", mode="torn")
+        with pytest.raises(ValueError, match="torn"):
+            FileSystem().inject_fault("meta", mode="torn")
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(ValueError, match="after"):
+            FileSystem().inject_fault("write", after=-1)
+
+    @pytest.mark.parametrize("p", [0.0, -0.5, 1.5])
+    def test_probability_range(self, p):
+        with pytest.raises(ValueError, match="probability"):
+            FileSystem().inject_fault("write", mode="probabilistic",
+                                      probability=p)
+
+    def test_negative_min_nbytes_rejected(self):
+        with pytest.raises(ValueError, match="min_nbytes"):
+            FileSystem().inject_fault("write", min_nbytes=-1)
+
+    @pytest.mark.parametrize("f", [1.0, -0.1, 2.0])
+    def test_torn_fraction_range(self, f):
+        with pytest.raises(ValueError, match="torn_fraction"):
+            FileSystem().inject_fault("write", mode="torn", torn_fraction=f)
+
+    def test_rejected_spec_is_not_armed(self):
+        fs = FileSystem()
+        fs.create("f")
+        with pytest.raises(ValueError):
+            fs.inject_fault("write", mode="bogus")
+        fs.write("f", 0, b"x")  # nothing armed, nothing fires
+
+    def test_spec_constants(self):
+        assert set(FAULT_OPS) == {"read", "write", "meta"}
+        assert "torn" in FAULT_MODES
+        spec = FaultSpec(op="write", mode="torn")
+        assert not spec.exhausted
+
+
+class TestFiringModes:
+    def test_oneshot_disarms_after_firing(self):
+        fs = FileSystem()
+        fs.create("f")
+        spec = fs.inject_fault("write", "f")
+        with pytest.raises(InjectedIOError):
+            fs.write("f", 0, b"x")
+        fs.write("f", 0, b"x")
+        assert spec.fired == 1 and spec.exhausted
+
+    def test_persistent_fires_on_every_match(self):
+        fs = FileSystem()
+        fs.create("f")
+        spec = fs.inject_fault("write", "f", mode="persistent")
+        for _ in range(3):
+            with pytest.raises(InjectedIOError):
+                fs.write("f", 0, b"x")
+        assert spec.fired == 3 and not spec.exhausted
+
+    def test_persistent_respects_after(self):
+        fs = FileSystem()
+        fs.create("f")
+        fs.inject_fault("write", "f", mode="persistent", after=2)
+        fs.write("f", 0, b"x")
+        fs.write("f", 0, b"x")
+        with pytest.raises(InjectedIOError):
+            fs.write("f", 0, b"x")
+        with pytest.raises(InjectedIOError):
+            fs.write("f", 0, b"x")
+
+    def test_probabilistic_is_seeded_and_reproducible(self):
+        def run(seed):
+            fs = FileSystem()
+            fs.create("f")
+            spec = fs.inject_fault(
+                "write", "f", mode="probabilistic", probability=0.5, seed=seed
+            )
+            outcomes = []
+            for _ in range(32):
+                try:
+                    fs.write("f", 0, b"x")
+                    outcomes.append(0)
+                except InjectedIOError:
+                    outcomes.append(1)
+            return outcomes, spec.fired
+
+        a, fired_a = run(seed=7)
+        b, fired_b = run(seed=7)
+        c, _ = run(seed=8)
+        assert a == b and fired_a == fired_b
+        assert a != c  # a different stream actually changes the pattern
+        assert 0 < fired_a < 32  # p=0.5 over 32 draws: some of each
+
+    def test_min_nbytes_filters_small_requests(self):
+        fs = FileSystem()
+        fs.create("f")
+        fs.inject_fault("write", "f", mode="persistent", min_nbytes=100)
+        fs.write("f", 0, b"small")  # below the bar, passes
+        with pytest.raises(InjectedIOError):
+            fs.write("f", 0, b"x" * 100)
+
+    def test_clear_faults_disarms_everything(self):
+        fs = FileSystem()
+        fs.create("f")
+        fs.inject_fault("write", "f", mode="persistent")
+        fs.inject_fault("read", "f", mode="persistent")
+        fs.clear_faults()
+        fs.write("f", 0, b"x")
+        fs.read("f", 0, 1)
+
+
+class TestTornWrites:
+    def test_torn_write_persists_prefix_then_raises(self):
+        fs = FileSystem()
+        fs.create("f")
+        fs.write("f", 0, b"\xff" * 8)
+        fs.inject_fault("write", "f", mode="torn", torn_fraction=0.5)
+        with pytest.raises(TornWriteError):
+            fs.write("f", 0, b"ABCDEFGH")
+        # First half landed, second half still holds the old bytes.
+        f = fs.store.open("f")
+        assert bytes(f.read(0, 8)) == b"ABCD" + b"\xff" * 4
+
+    def test_torn_is_a_subclass_of_injected(self):
+        # The retry layer catches InjectedIOError; torn writes must be
+        # retryable through the same path.
+        assert issubclass(TornWriteError, InjectedIOError)
+
+    def test_torn_disarms_so_a_retry_heals_the_file(self):
+        fs = FileSystem()
+        fs.create("f")
+        fs.inject_fault("write", "f", mode="torn", torn_fraction=0.25)
+        with pytest.raises(TornWriteError):
+            fs.write("f", 0, b"ABCDEFGH")
+        fs.write("f", 0, b"ABCDEFGH")  # the retry: same bytes, same offset
+        assert bytes(fs.store.open("f").read(0, 8)) == b"ABCDEFGH"
+
+    def test_torn_zero_fraction_persists_nothing(self):
+        fs = FileSystem()
+        fs.create("f")
+        fs.inject_fault("write", "f", mode="torn", torn_fraction=0.0)
+        with pytest.raises(TornWriteError):
+            fs.write("f", 0, b"ABCD")
+        assert bytes(fs.store.open("f").read(0, 4)) == b"\x00" * 4
+
+    def test_torn_list_write_tears_the_segment_stream(self):
+        fs = FileSystem()
+        fs.create("f")
+        fs.inject_fault("write", "f", mode="torn", torn_fraction=0.5)
+        with pytest.raises(TornWriteError):
+            fs.write_list("f", [(0, 4), (8, 4)], b"AAAABBBB")
+        f = fs.store.open("f")
+        assert bytes(f.read(0, 4)) == b"AAAA"  # first segment persisted
+        assert bytes(f.read(8, 4)) == b"\x00" * 4  # second never arrived
+
+    def test_counters_track_partial_bytes(self):
+        fs = FileSystem()
+        fs.create("f")
+        fs.inject_fault("write", "f", mode="torn", torn_fraction=0.5)
+        with pytest.raises(TornWriteError):
+            fs.write("f", 0, b"x" * 100)
+        assert fs.counters.bytes_written == 50
+
+
+class TestRecoveryNotification:
+    def test_notify_recovery_counts_and_resets(self):
+        fs = FileSystem()
+        fs.notify_recovery("f", "retry", attempt=1)
+        fs.notify_recovery("f", "recovered", attempt=1)
+        assert fs.counters.recoveries == 2
+        fs.counters.reset()
+        assert fs.counters.recoveries == 0
