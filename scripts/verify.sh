@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repo verify flow: tier-1 tests, resilience + insights smoke tests, lint
-# gate, and the tuned-vs-untuned bandwidth artifact.
+# gate, the paper-figure regression gate, and the tuned-vs-untuned
+# bandwidth artifact.
 #
 # Usage:  bash scripts/verify.sh
 set -euo pipefail
@@ -26,6 +27,9 @@ if command -v ruff >/dev/null 2>&1; then
 else
     echo "ruff not installed; lint gate skipped"
 fi
+
+echo "== paper-figure regression gate (Figures 5-10 vs BENCH_figures.json) =="
+python -m repro regress --quiet --out BENCH_figures.current.json
 
 echo "== crash-consistency acceptance scenario =="
 python -m repro simulate --problem AMR16 --procs 4 --cycles 1 \

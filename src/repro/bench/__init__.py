@@ -1,6 +1,25 @@
-"""Benchmark harness: workload builders and experiment runners."""
+"""Benchmark harness: workload builders, experiment runners, and the
+paper-figure regression gate (``repro.bench.regression``)."""
 
+from .baselines import (
+    DEFAULT_RTOL,
+    MATRIX,
+    TRENDS,
+    Cell,
+    Trend,
+    load_baseline,
+    save_baseline,
+    select_cells,
+)
 from .figures import render_bars, render_figure
+from .regression import (
+    RegressionReport,
+    compare,
+    format_report,
+    parse_perturbations,
+    run_cell,
+    run_matrix,
+)
 from .runners import (
     ExperimentResult,
     run_checkpoint_experiment,
@@ -20,4 +39,19 @@ __all__ = [
     "render_figure",
     "device_utilization",
     "format_utilization_report",
+    # regression gate
+    "Cell",
+    "Trend",
+    "MATRIX",
+    "TRENDS",
+    "DEFAULT_RTOL",
+    "RegressionReport",
+    "run_cell",
+    "run_matrix",
+    "compare",
+    "format_report",
+    "parse_perturbations",
+    "select_cells",
+    "load_baseline",
+    "save_baseline",
 ]

@@ -1,0 +1,302 @@
+"""The paper-figure regression matrix: cells, trend assertions, baselines.
+
+This module is the declarative half of the regression gate
+(:mod:`repro.bench.regression` is the engine).  It pins down
+
+* **cells** -- the (figure, machine preset, problem size, strategy, nprocs)
+  grid behind Figures 5-10 of the paper, sized so the full matrix runs in
+  well under a minute while every qualitative result the paper reports is
+  present in the model (per-figure problem sizes are chosen where the
+  mechanism shows: the GPFS inversions need the communication-dominated
+  AMR16, the local-disk write scaling needs AMR64);
+
+* **trend assertions** -- the paper's qualitative results transcribed as
+  machine-checkable comparisons between cells ("MPI-IO beats HDF4 write
+  bandwidth on XFS at >= 4 procs", "HDF5 <= MPI-IO everywhere", "GPFS
+  16-proc read inversion", ...).  A perf PR that inverts a paper result
+  trips these even if it updates the bandwidth baseline;
+
+* **baseline I/O** -- loading/saving the committed ``BENCH_figures.json``
+  artifact that every run is compared against.
+
+The committed baseline is the first point of the repo's perf trajectory:
+``python -m repro regress --update-baseline`` refreshes it (review the
+diff!), and plain ``python -m repro regress`` is the blocking gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+__all__ = [
+    "Cell",
+    "Trend",
+    "MATRIX",
+    "TRENDS",
+    "BASELINE_PATH",
+    "BASELINE_SCHEMA",
+    "DEFAULT_RTOL",
+    "cell_by_id",
+    "select_cells",
+    "load_baseline",
+    "save_baseline",
+]
+
+#: Default committed baseline artifact (repo root, relative to the CWD the
+#: gate runs from -- scripts/verify.sh and CI both run from the repo root).
+BASELINE_PATH = "BENCH_figures.json"
+BASELINE_SCHEMA = 1
+
+#: Default relative tolerance band for bandwidth comparisons.  The simulator
+#: is deterministic, so the band exists to classify *intentional* changes:
+#: within the band a refactor is noise, outside it the baseline must be
+#: consciously updated (and the paper trends still have to hold).
+DEFAULT_RTOL = 0.05
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One cell of the figure grid: a single experiment to run and pin."""
+
+    figure: str
+    strategy: str  # "hdf4" | "mpi-io" | "hdf5" | fig5: "two-phase"/"independent"
+    nprocs: int
+    problem: str  # AMR problem size ("-" for the fig5 access-pattern cells)
+    machine: str  # topology preset name
+    do_read: bool = True
+
+    @property
+    def id(self) -> str:
+        return f"{self.figure}:{self.strategy}:{self.nprocs}"
+
+
+@dataclass(frozen=True)
+class Trend:
+    """A paper result as a comparison between two cells' metrics.
+
+    Asserts ``metric(left) <relation> metric(right)`` over the *current*
+    run's results -- trends are properties of the model, not of the
+    baseline, so they hold (or fail) regardless of tolerance bands.
+    """
+
+    id: str
+    description: str
+    metric: str  # key of the per-cell result dict (write_bw, read_s, ...)
+    left: str  # cell id
+    relation: str  # "gt" | "ge" | "lt" | "le"
+    right: str  # cell id
+
+    def holds(self, lhs: float, rhs: float) -> bool:
+        return {
+            "gt": lhs > rhs,
+            "ge": lhs >= rhs,
+            "lt": lhs < rhs,
+            "le": lhs <= rhs,
+        }[self.relation]
+
+
+def _grid(figure, machine, problem, strategies, procs, do_read=True):
+    return [
+        Cell(figure, s, p, problem, machine, do_read)
+        for p in procs
+        for s in strategies
+    ]
+
+
+#: The full Figure 5-10 grid.
+MATRIX: tuple[Cell, ...] = tuple(
+    # Figure 5: the request-pattern contrast behind everything else -- the
+    # same strided (1, Block, 1) write issued through two-phase collective
+    # I/O vs naive independent writes (no data sieving, so the raw pattern
+    # reaches the file system).
+    [
+        Cell("fig5", "two-phase", 8, "-", "origin2000", do_read=False),
+        Cell("fig5", "independent", 8, "-", "origin2000", do_read=False),
+    ]
+    # Figure 6: Origin2000/XFS -- MPI-IO beats sequential HDF4 both ways.
+    + _grid("fig6", "origin2000", "AMR32", ["hdf4", "mpi-io"], [2, 4, 8, 16])
+    # Figure 7: IBM SP/GPFS -- MPI-IO *loses* (token thrash, SMP queues);
+    # AMR16 keeps the run communication-dominated, where the paper's
+    # 16-processor read inversion also appears.
+    + _grid("fig7", "ibm_sp2", "AMR16", ["hdf4", "mpi-io"], [16, 32])
+    # Figure 8: Chiba City/PVFS over fast Ethernet -- MPI-IO reads win via
+    # data sieving + server caching.
+    + _grid("fig8", "chiba_city", "AMR32", ["hdf4", "mpi-io"], [8])
+    # Figure 9: node-local disks -- MPI-IO scales with P, HDF4 cannot;
+    # AMR64 is where the write scaling is decisive.
+    + _grid("fig9", "chiba_city_local", "AMR64", ["hdf4", "mpi-io"], [2, 4, 8])
+    # Figure 10: parallel HDF5 trails MPI-IO at every processor count.
+    + _grid(
+        "fig10", "origin2000", "AMR32", ["mpi-io", "hdf5"], [4, 8, 16],
+        do_read=False,
+    )
+)
+
+
+def _t(id, description, metric, left, relation, right):
+    return Trend(id, description, metric, left, relation, right)
+
+
+#: The paper's qualitative results (Figures 5-10), machine-checkable.
+TRENDS: tuple[Trend, ...] = tuple(
+    [
+        _t(
+            "fig5-collective-fewer-requests",
+            "two-phase collective I/O turns many small interleaved writes "
+            "into few large sequential ones (Fig 5)",
+            "fs_write_requests",
+            "fig5:two-phase:8", "lt", "fig5:independent:8",
+        ),
+        _t(
+            "fig5-collective-faster",
+            "the collective request pattern is also faster on XFS (Fig 5)",
+            "write_s",
+            "fig5:two-phase:8", "lt", "fig5:independent:8",
+        ),
+    ]
+    + [
+        _t(
+            f"fig6-write-bw-P{p}",
+            f"MPI-IO write bandwidth beats HDF4 on Origin2000/XFS at P={p} "
+            "(Fig 6)",
+            "write_bw", f"fig6:mpi-io:{p}", "gt", f"fig6:hdf4:{p}",
+        )
+        for p in (4, 8, 16)
+    ]
+    + [
+        _t(
+            f"fig6-read-bw-P{p}",
+            f"MPI-IO read beats the serial HDF4 read path at P={p} (Fig 6)",
+            "read_bw", f"fig6:mpi-io:{p}", "gt", f"fig6:hdf4:{p}",
+        )
+        for p in (2, 4, 8, 16)
+    ]
+    + [
+        _t(
+            f"fig7-write-inversion-P{p}",
+            f"on SP/GPFS the MPI-IO write is *slower* than HDF4 at P={p} "
+            "(token thrash + SMP I/O queues, Fig 7)",
+            "write_s", f"fig7:mpi-io:{p}", "gt", f"fig7:hdf4:{p}",
+        )
+        for p in (16, 32)
+    ]
+    + [
+        _t(
+            "fig7-read-inversion-P16",
+            "the GPFS 16-processor read inversion: MPI-IO reads lose to "
+            "HDF4 at P=16 (Fig 7)",
+            "read_s", "fig7:mpi-io:16", "gt", "fig7:hdf4:16",
+        ),
+        _t(
+            "fig8-read-sieving-P8",
+            "on PVFS/fast-Ethernet the MPI-IO read wins via data sieving "
+            "and server caching (Fig 8)",
+            "read_s", "fig8:mpi-io:8", "lt", "fig8:hdf4:8",
+        ),
+    ]
+    + [
+        _t(
+            f"fig9-write-P{p}",
+            f"node-local disks: MPI-IO write beats HDF4 at P={p} (Fig 9)",
+            "write_s", f"fig9:mpi-io:{p}", "lt", f"fig9:hdf4:{p}",
+        )
+        for p in (2, 4, 8)
+    ]
+    + [
+        _t(
+            "fig9-write-scales",
+            "node-local MPI-IO write time falls as processors grow (Fig 9)",
+            "write_s", "fig9:mpi-io:8", "lt", "fig9:mpi-io:2",
+        ),
+        _t(
+            "fig9-read-P8",
+            "node-local MPI-IO read beats the HDF4 redistribution read "
+            "at P=8 (Fig 9)",
+            "read_s", "fig9:mpi-io:8", "lt", "fig9:hdf4:8",
+        ),
+    ]
+    + [
+        _t(
+            f"fig10-hdf5-bw-P{p}",
+            f"parallel HDF5 write bandwidth trails MPI-IO at P={p} "
+            "(per-dataset overheads, Fig 10)",
+            "write_bw", f"fig10:hdf5:{p}", "le", f"fig10:mpi-io:{p}",
+        )
+        for p in (4, 8, 16)
+    ]
+    + [
+        _t(
+            "fig10-hdf5-flat",
+            "HDF5 write time does not improve with processors (its "
+            "per-dataset costs are serial, Fig 10)",
+            "write_s", "fig10:hdf5:16", "ge", "fig10:hdf5:4",
+        ),
+    ]
+)
+
+
+def cell_by_id(cell_id: str) -> Cell:
+    for c in MATRIX:
+        if c.id == cell_id:
+            return c
+    raise KeyError(cell_id)
+
+
+def select_cells(specs: list[str] | None) -> list[Cell]:
+    """Resolve ``--cell`` specs (``FIG[:STRATEGY[:NPROCS]]``) to cells.
+
+    No specs selects the whole matrix.  A spec must match at least one cell
+    or :class:`ValueError` is raised (a typo must not silently pass the
+    gate by checking nothing).
+    """
+    if not specs:
+        return list(MATRIX)
+    picked: dict[str, Cell] = {}
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) > 3 or not parts[0]:
+            raise ValueError(f"bad --cell spec {spec!r} (want FIG[:STRATEGY[:NPROCS]])")
+        fig = parts[0]
+        strat = parts[1] if len(parts) > 1 and parts[1] else None
+        procs = parts[2] if len(parts) > 2 and parts[2] else None
+        if procs is not None:
+            try:
+                procs = int(procs)
+            except ValueError:
+                raise ValueError(f"bad --cell spec {spec!r}: NPROCS must be an integer")
+        matched = [
+            c
+            for c in MATRIX
+            if c.figure == fig
+            and (strat is None or c.strategy == strat)
+            and (procs is None or c.nprocs == procs)
+        ]
+        if not matched:
+            known = sorted({c.figure for c in MATRIX})
+            raise ValueError(
+                f"--cell {spec!r} matches no cell (figures: {', '.join(known)})"
+            )
+        for c in matched:
+            picked[c.id] = c
+    return list(picked.values())
+
+
+def load_baseline(path: str = BASELINE_PATH) -> dict:
+    """Load and structurally validate a committed baseline file."""
+    with open(path) as f:
+        payload = json.load(f)
+    if not isinstance(payload, dict) or "cells" not in payload:
+        raise ValueError(f"{path} is not a regression baseline (no 'cells')")
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path} has baseline schema {payload.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA}"
+        )
+    return payload
+
+
+def save_baseline(payload: dict, path: str = BASELINE_PATH) -> None:
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -1,0 +1,393 @@
+"""Paper-figure conformance & performance-regression harness.
+
+The engine behind ``python -m repro regress``: runs the Figure 5-10 cell
+matrix declared in :mod:`repro.bench.baselines` through the simulated
+clock, reduces every cell to a canonical result record (bandwidths, phase
+breakdown, file-system counters, and a SHA-256 golden digest of the
+canonicalised IOTrace event stream), and compares the run against the
+committed ``BENCH_figures.json`` baseline on three axes:
+
+1. **determinism** -- golden-trace digests must match the baseline exactly
+   (any drift in the event stream, ordering included, is a failure);
+2. **bandwidth bands** -- write/read bandwidth per cell must stay within a
+   relative tolerance of the baseline (default
+   :data:`~repro.bench.baselines.DEFAULT_RTOL`);
+3. **paper trends** -- the qualitative results of Figures 5-10
+   (:data:`~repro.bench.baselines.TRENDS`) must hold in the *current* run,
+   so a perf PR can never silently invert a paper result even if it also
+   updates the baseline.
+
+Exit-code contract of the CLI wrapper: 0 = gate green, 1 = regression
+(band, digest, count, or trend violation), 2 = usage error (missing or
+corrupt baseline, unknown cell, malformed perturbation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.report import format_table
+from ..core.trace import trace_filesystem
+from ..mpi.datatypes import FLOAT64, Subarray
+from ..mpi.runner import run_spmd
+from ..mpiio.file import File
+from ..mpiio.hints import Hints
+from ..topology.presets import PRESETS
+from .baselines import (
+    BASELINE_SCHEMA,
+    DEFAULT_RTOL,
+    MATRIX,
+    TRENDS,
+    Cell,
+)
+from .runners import run_traced_experiment
+from .workloads import build_initial_workload, build_workload
+
+__all__ = [
+    "run_cell",
+    "run_matrix",
+    "compare",
+    "RegressionReport",
+    "format_report",
+    "parse_perturbations",
+]
+
+#: Integer per-cell metrics that must match the baseline exactly (they are
+#: request/byte counters of a deterministic run; a drift here is a
+#: behaviour change even when the bandwidth band still holds).
+EXACT_METRICS = (
+    "bytes_written",
+    "bytes_read",
+    "fs_write_requests",
+    "fs_read_requests",
+    "fs_recoveries",
+    "trace_events",
+)
+
+#: Banded per-cell metrics (relative tolerance).
+BANDED_METRICS = ("write_bw", "read_bw")
+
+
+def _strategies():
+    from ..enzo import HDF4Strategy, HDF5Strategy, MPIIOStrategy
+
+    return {"hdf4": HDF4Strategy, "mpi-io": MPIIOStrategy, "hdf5": HDF5Strategy}
+
+
+# -- the fig5 access-pattern cell --------------------------------------------
+
+
+def _strided_write_program(comm, collective: bool, hints: Hints):
+    """Each rank writes a (1, Block, 1) slab of a 32^3 array (Fig 5)."""
+    shape = (32, 32, 32)
+    base, rem = divmod(shape[1], comm.size)
+    lo = comm.rank * base + min(comm.rank, rem)
+    n = base + (1 if comm.rank < rem else 0)
+    ftype = Subarray(shape, (shape[0], n, shape[2]), (0, lo, 0), FLOAT64)
+    fh = File.open(comm, "fig5", "w", hints=hints)
+    fh.set_view(0, FLOAT64, ftype)
+    data = np.full((shape[0], n, shape[2]), float(comm.rank))
+    t0 = comm.clock
+    if collective:
+        fh.write_all(data)
+    else:
+        fh.write(data)
+    elapsed = comm.clock - t0
+    fh.close()
+    return elapsed
+
+
+def _run_pattern_cell(cell: Cell, hints: Hints | None) -> dict:
+    machine = PRESETS[cell.machine](nprocs=cell.nprocs)
+    hints = hints if hints is not None else Hints(ds_write=False)
+    trace = trace_filesystem(machine.fs, include_meta=True)
+    try:
+        res = run_spmd(
+            machine,
+            _strided_write_program,
+            nprocs=cell.nprocs,
+            args=(cell.strategy == "two-phase", hints),
+        )
+    finally:
+        trace.detach()
+    write_s = max(res.results)
+    counters = machine.fs.counters
+    return _record(
+        cell,
+        write_s=write_s,
+        read_s=0.0,
+        write_phases={},
+        read_phases={},
+        bytes_written=counters.bytes_written,
+        bytes_read=0,
+        fs_write_requests=counters.writes,
+        fs_read_requests=0,
+        fs_recoveries=counters.recoveries,
+        trace=trace,
+    )
+
+
+# -- figure cells -------------------------------------------------------------
+
+
+def _run_figure_cell(cell: Cell, hints: Hints | None) -> dict:
+    strategies = _strategies()
+    machine = PRESETS[cell.machine](nprocs=cell.nprocs)
+    if hints is not None and cell.strategy == "hdf4":
+        raise ValueError(
+            f"cannot perturb {cell.id}: the hdf4 strategy takes no MPI-IO hints"
+        )
+    kwargs = {"hints": hints} if hints is not None else {}
+    strategy = strategies[cell.strategy](**kwargs)
+    result, trace = run_traced_experiment(
+        machine,
+        strategy,
+        build_workload(cell.problem),
+        nprocs=cell.nprocs,
+        read_hierarchy=build_initial_workload(cell.problem),
+        do_read=cell.do_read,
+    )
+    return _record(
+        cell,
+        write_s=result.write_time,
+        read_s=result.read_time,
+        write_phases=result.write_phases,
+        read_phases=result.read_phases,
+        bytes_written=result.bytes_written,
+        bytes_read=result.bytes_read,
+        fs_write_requests=result.fs_write_requests,
+        fs_read_requests=result.fs_read_requests,
+        fs_recoveries=result.fs_recoveries,
+        trace=trace,
+    )
+
+
+def _record(cell: Cell, *, trace, **kw) -> dict:
+    mb = 2**20
+    write_s, read_s = float(kw["write_s"]), float(kw["read_s"])
+    bytes_written, bytes_read = int(kw["bytes_written"]), int(kw["bytes_read"])
+    return {
+        "figure": cell.figure,
+        "machine": cell.machine,
+        "problem": cell.problem,
+        "strategy": cell.strategy,
+        "nprocs": cell.nprocs,
+        "write_s": round(write_s, 9),
+        "read_s": round(read_s, 9),
+        "write_bw": round(bytes_written / write_s / mb, 6)
+        if write_s > 0
+        else 0.0,
+        "read_bw": round(bytes_read / read_s / mb, 6) if read_s > 0 else 0.0,
+        "write_phases": {
+            k: round(float(v), 9) for k, v in kw["write_phases"].items()
+        },
+        "read_phases": {
+            k: round(float(v), 9) for k, v in kw["read_phases"].items()
+        },
+        "bytes_written": bytes_written,
+        "bytes_read": bytes_read,
+        "fs_write_requests": int(kw["fs_write_requests"]),
+        "fs_read_requests": int(kw["fs_read_requests"]),
+        "fs_recoveries": int(kw["fs_recoveries"]),
+        "trace_events": len(trace),
+        "trace_digest": trace.digest(),
+    }
+
+
+def run_cell(cell: Cell, *, hints: Hints | None = None) -> dict:
+    """Execute one cell and return its canonical result record.
+
+    ``hints`` overrides the strategy's MPI-IO tuning hints -- the hook the
+    perturbation acceptance test (and ``--perturb``) uses to prove the gate
+    actually trips.
+    """
+    if cell.figure == "fig5":
+        return _run_pattern_cell(cell, hints)
+    return _run_figure_cell(cell, hints)
+
+
+def run_matrix(
+    cells: list[Cell] | None = None,
+    *,
+    perturb: dict[str, dict] | None = None,
+    progress=None,
+) -> dict:
+    """Run ``cells`` (default: the full matrix) and assemble the payload.
+
+    Returns a baseline-shaped dict (``schema``/``cells``/``trends``) ready
+    to be compared or committed.  ``perturb`` maps cell ids to hint-field
+    overrides (e.g. ``{"fig6:mpi-io:8": {"cb_buffer_size": 2 * 2**20}}``).
+    """
+    cells = list(MATRIX) if cells is None else cells
+    perturb = perturb or {}
+    records: dict[str, dict] = {}
+    for cell in cells:
+        if progress:
+            progress(f"running {cell.id} ({cell.machine}, {cell.problem})")
+        hints = None
+        if cell.id in perturb:
+            hints = Hints(**perturb[cell.id])
+        records[cell.id] = run_cell(cell, hints=hints)
+    trends = [
+        {
+            "id": t.id,
+            "description": t.description,
+            "metric": t.metric,
+            "left": t.left,
+            "relation": t.relation,
+            "right": t.right,
+            "ok": t.holds(
+                records[t.left][t.metric], records[t.right][t.metric]
+            ),
+        }
+        for t in TRENDS
+        if t.left in records and t.right in records
+    ]
+    return {"schema": BASELINE_SCHEMA, "rtol": DEFAULT_RTOL,
+            "cells": records, "trends": trends}
+
+
+def parse_perturbations(specs: list[str] | None) -> dict[str, dict]:
+    """Parse ``--perturb CELLID:KEY=VALUE`` specs into a run_matrix map."""
+    out: dict[str, dict] = {}
+    for spec in specs or []:
+        cell_id, sep, assign = spec.rpartition(":")
+        if not sep or "=" not in assign:
+            raise ValueError(
+                f"bad --perturb spec {spec!r} (want FIG:STRATEGY:NPROCS:KEY=VALUE)"
+            )
+        key, _, value = assign.partition("=")
+        if not hasattr(Hints(), key):
+            raise ValueError(f"bad --perturb spec {spec!r}: unknown hint {key!r}")
+        current = getattr(Hints(), key)
+        if isinstance(current, bool):
+            parsed: object = value.lower() in ("1", "true", "yes", "on")
+        elif isinstance(current, float):
+            parsed = float(value)
+        else:
+            parsed = int(value)
+        out.setdefault(cell_id, {})[key] = parsed
+    return out
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+class RegressionReport:
+    """The outcome of one compare: violations plus coverage counts."""
+
+    def __init__(self, violations: list[dict], cells_checked: int,
+                 trends_checked: int):
+        self.violations = violations
+        self.cells_checked = cells_checked
+        self.trends_checked = trends_checked
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _band_violation(cell_id, metric, cur, base, rtol):
+    if base == 0 and cur == 0:
+        return None
+    denom = abs(base) if base else 1.0
+    delta = (cur - base) / denom
+    if abs(delta) <= rtol:
+        return None
+    return {
+        "cell": cell_id,
+        "kind": "band",
+        "metric": metric,
+        "current": cur,
+        "baseline": base,
+        "detail": f"{delta:+.1%} vs baseline (band ±{rtol:.0%})",
+    }
+
+
+def compare(current: dict, baseline: dict, *, rtol: float | None = None
+            ) -> RegressionReport:
+    """Compare a fresh run against the committed baseline.
+
+    Only cells present in ``current`` are compared (so ``--cell`` subsets
+    check their slice of the baseline); a selected cell missing from the
+    baseline is itself a violation -- the gate must never silently skip.
+    Trend assertions are taken from ``current`` (they were evaluated
+    against live numbers by :func:`run_matrix`).
+    """
+    rtol = baseline.get("rtol", DEFAULT_RTOL) if rtol is None else rtol
+    violations: list[dict] = []
+    base_cells = baseline.get("cells", {})
+    cur_cells = current.get("cells", {})
+    for cell_id, cur in sorted(cur_cells.items()):
+        base = base_cells.get(cell_id)
+        if base is None:
+            violations.append({
+                "cell": cell_id, "kind": "missing-cell", "metric": "-",
+                "current": "-", "baseline": "-",
+                "detail": "cell not in baseline (run --update-baseline)",
+            })
+            continue
+        if cur["trace_digest"] != base["trace_digest"]:
+            violations.append({
+                "cell": cell_id, "kind": "digest", "metric": "trace_digest",
+                "current": cur["trace_digest"][:18] + "...",
+                "baseline": base["trace_digest"][:18] + "...",
+                "detail": "golden trace diverged (determinism/behaviour change)",
+            })
+        for metric in BANDED_METRICS:
+            v = _band_violation(cell_id, metric, cur[metric], base[metric], rtol)
+            if v:
+                violations.append(v)
+        for metric in EXACT_METRICS:
+            if cur[metric] != base[metric]:
+                violations.append({
+                    "cell": cell_id, "kind": "count", "metric": metric,
+                    "current": cur[metric], "baseline": base[metric],
+                    "detail": "exact-match counter changed",
+                })
+    for trend in current.get("trends", []):
+        if not trend["ok"]:
+            lhs = cur_cells[trend["left"]][trend["metric"]]
+            rhs = cur_cells[trend["right"]][trend["metric"]]
+            violations.append({
+                "cell": f"{trend['left']} vs {trend['right']}",
+                "kind": "trend", "metric": trend["metric"],
+                "current": f"{lhs:.4g} {trend['relation']}? {rhs:.4g}",
+                "baseline": "paper",
+                "detail": f"{trend['id']}: {trend['description']}",
+            })
+    return RegressionReport(
+        violations, len(cur_cells), len(current.get("trends", []))
+    )
+
+
+def format_report(report: RegressionReport, *, title: str = "repro regress"
+                  ) -> str:
+    """Readable gate outcome: a per-cell diff table naming each violation."""
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"{report.cells_checked} cells, {report.trends_checked} paper-trend "
+        f"assertions checked"
+    )
+    if report.ok:
+        lines.append("gate: PASS (digests exact, bandwidth in band, "
+                     "all paper trends hold)")
+        return "\n".join(lines)
+    lines.append(f"gate: FAIL ({len(report.violations)} violation(s))\n")
+    rows = [
+        [
+            v["cell"],
+            v["kind"],
+            v["metric"],
+            str(v["baseline"]),
+            str(v["current"]),
+            v["detail"],
+        ]
+        for v in report.violations
+    ]
+    lines.append(
+        format_table(
+            ["cell", "check", "metric", "baseline", "current", "why"], rows
+        )
+    )
+    return "\n".join(lines)

@@ -42,6 +42,9 @@ class ExperimentResult:
     #: recovery events (retries/degradations) across write + read phases
     fs_recoveries: int = 0
 
+    #: column names matching :meth:`row` (keep the two in sync).
+    HEADERS = ["machine", "strategy", "P", "write [s]", "read [s]", "recov"]
+
     def row(self) -> list:
         return [
             self.machine,
@@ -49,6 +52,7 @@ class ExperimentResult:
             self.nprocs,
             f"{self.write_time:.3f}",
             f"{self.read_time:.3f}",
+            self.fs_recoveries,
         ]
 
 

@@ -12,7 +12,14 @@ Commands:
 * ``tune``                       -- closed-loop auto-tuning: diagnose,
   apply the recommended strategy/hints, re-run, report the delta;
 * ``simulate``                   -- run the full ENZO flow with dumps and a
-  verified restart.
+  verified restart;
+* ``table``                      -- run the strategy-comparison experiment
+  and print the results table (including recovery counts);
+* ``regress``                    -- the paper-figure conformance &
+  performance-regression gate: run the Figure 5-10 cell matrix, compare
+  against the committed ``BENCH_figures.json`` baseline (golden trace
+  digests, bandwidth bands, paper trend assertions); exit 0 = green,
+  1 = regression, 2 = usage error.
 
 Common options: ``--problem AMR16|AMR32|AMR64|AMR128`` and ``--procs N``.
 """
@@ -318,6 +325,110 @@ def cmd_simulate(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_table(args) -> int:
+    """Run each strategy once on one machine and print the results table."""
+    preset = PRESETS[args.machine]
+    dump = build_workload(args.problem)
+    init = build_initial_workload(args.problem)
+    rows = []
+    for name in sorted(STRATEGIES):
+        machine = preset(nprocs=args.procs)
+        if args.inject and not _arm_fault(machine.fs, args.inject):
+            return 2
+        result = run_checkpoint_experiment(
+            machine,
+            STRATEGIES[name](retry=_retry_policy(args)),
+            dump,
+            nprocs=args.procs,
+            read_hierarchy=init,
+        )
+        rows.append(result.row())
+    from .bench import ExperimentResult
+
+    print(f"strategy comparison -- {args.problem}, P={args.procs}")
+    print(format_table(ExperimentResult.HEADERS, rows))
+    return 0
+
+
+def cmd_regress(args) -> int:
+    import json
+
+    from .bench import regression as reg
+    from .bench.baselines import (
+        BASELINE_PATH,
+        load_baseline,
+        save_baseline,
+        select_cells,
+    )
+
+    try:
+        cells = select_cells(args.cell)
+        perturb = reg.parse_perturbations(args.perturb)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else lambda msg: print(f"  {msg}")
+    if progress:
+        print(f"repro regress: {len(cells)} cell(s)")
+    try:
+        current = reg.run_matrix(cells, perturb=perturb, progress=progress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        if progress:
+            print(f"wrote current results to {args.out}")
+
+    if args.update_baseline:
+        bad_trends = [t for t in current["trends"] if not t["ok"]]
+        payload = current
+        if args.cell:
+            # Subset update: merge into the existing baseline if present.
+            try:
+                payload = load_baseline(args.baseline)
+            except FileNotFoundError:
+                payload = {"schema": current["schema"], "rtol": current["rtol"],
+                           "cells": {}, "trends": []}
+            except (ValueError, OSError) as exc:
+                print(f"error: cannot merge into {args.baseline}: {exc}",
+                      file=sys.stderr)
+                return 2
+            payload["cells"].update(current["cells"])
+            kept = {t["id"]: t for t in payload.get("trends", [])}
+            kept.update({t["id"]: t for t in current["trends"]})
+            payload["trends"] = sorted(kept.values(), key=lambda t: t["id"])
+        save_baseline(payload, args.baseline)
+        print(f"baseline updated: {args.baseline} "
+              f"({len(payload['cells'])} cells, {len(payload['trends'])} trends)")
+        if bad_trends:
+            for t in bad_trends:
+                print(f"warning: paper trend VIOLATED in new baseline: "
+                      f"{t['id']}: {t['description']}", file=sys.stderr)
+            print("refusing a green exit: fix the model or the matrix before "
+                  "committing this baseline", file=sys.stderr)
+            return 1
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(f"error: no baseline at {args.baseline}; create one with "
+              f"'repro regress --update-baseline'", file=sys.stderr)
+        return 2
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot load baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = reg.compare(current, baseline, rtol=args.rtol)
+    print(reg.format_report(
+        report, title=f"repro regress vs {args.baseline or BASELINE_PATH}"
+    ))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -382,6 +493,44 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--retries", type=int, default=0, metavar="N",
                    help="retry transient I/O faults up to N times")
 
+    tb = sub.add_parser(
+        "table", help="run each strategy once and print the results table"
+    )
+    tb.add_argument("--problem", default="AMR32")
+    tb.add_argument("--procs", type=int, default=8)
+    tb.add_argument("--machine", choices=sorted(PRESETS), default="origin2000")
+    tb.add_argument("--retries", type=int, default=0, metavar="N",
+                    help="retry transient I/O faults up to N times")
+    tb.add_argument("--inject", default=None,
+                    metavar="OP[:MODE[:PATH[:AFTER]]]",
+                    help="arm one injected fault before each strategy's run "
+                         "(recoveries show in the 'recov' column)")
+
+    r = sub.add_parser(
+        "regress",
+        help="paper-figure conformance & perf-regression gate (exit 0/1/2)",
+    )
+    r.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from this run instead of "
+                        "comparing (review the diff before committing)")
+    r.add_argument("--cell", action="append", default=None,
+                   metavar="FIG[:STRATEGY[:NPROCS]]",
+                   help="restrict to matching cells (repeatable), e.g. "
+                        "'fig6:mpi-io:8' or 'fig7'")
+    r.add_argument("--baseline", default="BENCH_figures.json", metavar="PATH",
+                   help="baseline artifact to compare against / update")
+    r.add_argument("--rtol", type=float, default=None, metavar="FRAC",
+                   help="relative bandwidth tolerance band (default: the "
+                        "baseline's recorded rtol)")
+    r.add_argument("--out", default=None, metavar="PATH",
+                   help="also write this run's results as JSON (CI artifact)")
+    r.add_argument("--perturb", action="append", default=None,
+                   metavar="FIG:STRATEGY:NPROCS:KEY=VALUE",
+                   help="override one MPI-IO hint for one cell (gate "
+                        "self-test), e.g. 'fig6:mpi-io:8:cb_buffer_size=2097152'")
+    r.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress lines")
+
     s = sub.add_parser("simulate", help="run the full ENZO flow")
     s.add_argument("--problem", default="AMR32")
     s.add_argument("--procs", type=int, default=8)
@@ -406,6 +555,8 @@ def main(argv=None) -> int:
         "insights": cmd_insights,
         "tune": cmd_tune,
         "simulate": cmd_simulate,
+        "table": cmd_table,
+        "regress": cmd_regress,
     }[args.command]
     try:
         return handler(args)

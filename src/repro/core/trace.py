@@ -12,6 +12,7 @@ or record manually.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 
@@ -163,6 +164,42 @@ class IOTrace:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # -- canonical form / golden digests ------------------------------------
+
+    def canonical_events(self) -> list[tuple]:
+        """The event stream as plain tuples, in recorded order.
+
+        One tuple per event: ``(op, path, offset, nbytes, start, end, node,
+        kind, attempt)`` with times rendered by ``repr`` (full float
+        precision, no locale or formatting ambiguity).  Recorded order is
+        deliberately preserved rather than sorted: the simulated run is
+        supposed to be deterministic, so any reordering between two runs of
+        the same program (dict/set iteration order, scheduling drift) is a
+        bug this form must expose, not mask.
+        """
+        return [
+            (
+                e.op, e.path, int(e.offset), int(e.nbytes),
+                repr(float(e.start)), repr(float(e.end)),
+                int(e.node), e.kind, int(e.attempt),
+            )
+            for e in self.events
+        ]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical event stream (``"sha256:<hex>"``).
+
+        Two runs of the same SPMD program on the same machine model must
+        produce equal digests -- this is the golden-trace determinism gate
+        the regression harness compares across runs and against the
+        committed baseline.
+        """
+        h = hashlib.sha256()
+        for ev in self.canonical_events():
+            h.update(json.dumps(ev, separators=(",", ":")).encode())
+            h.update(b"\n")
+        return f"sha256:{h.hexdigest()}"
 
     # -- serialisation ------------------------------------------------------
 

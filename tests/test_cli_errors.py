@@ -105,6 +105,29 @@ class TestSimulateFaultPaths:
         assert "verified bit-exact" in capsys.readouterr().out
 
 
+class TestTableCommand:
+    def test_table_shows_recoveries_column(self, capsys):
+        rc = main(["table", "--problem", "AMR16", "--procs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[1]
+        assert header.split() == ["machine", "strategy", "P", "write", "[s]",
+                                  "read", "[s]", "recov"]
+        for strategy in ("hdf4", "mpi-io", "hdf5"):
+            assert strategy in out
+
+    def test_table_counts_recoveries_under_injection(self, capsys):
+        rc = main(["table", "--problem", "AMR16", "--procs", "2",
+                   "--inject", "write:torn", "--retries", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        rows = [l for l in out.splitlines()
+                if l.split() and l.split()[1:2] != ["strategy"]
+                and any(s in l.split() for s in ("hdf4", "mpi-io", "hdf5"))]
+        assert len(rows) == 3
+        assert any(int(l.split()[-1]) > 0 for l in rows)
+
+
 @pytest.mark.parametrize("argv", [["--retries", "2"], []])
 def test_analyze_accepts_retries_flag(argv, capsys):
     rc = main(["analyze", "--problem", "AMR16", "--procs", "2",

@@ -57,6 +57,8 @@ def test_the_matrix_is_not_trivial(write_count):
     assert write_count >= 10
 
 
+@pytest.mark.slow
+@pytest.mark.regression
 def test_fault_at_every_write_index_with_retry_recovers(
     hierarchy, write_count
 ):
@@ -72,6 +74,8 @@ def test_fault_at_every_write_index_with_retry_recovers(
         assert hierarchies_equivalent(rebuilt, hierarchy), f"index {index}"
 
 
+@pytest.mark.slow
+@pytest.mark.regression
 def test_fault_at_every_write_index_without_retry_fails_loudly(
     hierarchy, write_count
 ):

@@ -91,7 +91,9 @@ class TestRunner:
         # Writes cover the data plus a little format/sidecar metadata.
         assert h.total_data_nbytes() <= r.bytes_written <= 1.1 * h.total_data_nbytes()
         assert r.nprocs == 4
-        assert len(r.row()) == 5
+        assert len(r.row()) == len(ExperimentResult.HEADERS)
+        # fs_recoveries is the last column (visible in `repro table`).
+        assert r.row()[-1] == r.fs_recoveries
 
     def test_do_read_false_skips_read(self):
         m = origin2000(nprocs=2)
