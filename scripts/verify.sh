@@ -18,12 +18,13 @@ python -m pytest -q tests/test_resilience*.py tests/test_crash_consistency.py \
 echo "== insights smoke tests =="
 python -m pytest -q tests/test_insights*.py
 
-echo "== lint gate (resilience + insights subsystems) =="
+echo "== lint gate (full repro package) =="
 if command -v ruff >/dev/null 2>&1; then
-    ruff check src/repro/resilience src/repro/insights src/repro/cli.py \
+    ruff check src/repro \
         tests/test_resilience_faults.py tests/test_resilience_manifest.py \
         tests/test_resilience_roundtrip.py tests/test_crash_consistency.py \
-        tests/test_cli_errors.py tests/test_insights_resilience.py
+        tests/test_cli_errors.py tests/test_insights_resilience.py \
+        tests/test_iostack.py
 else
     echo "ruff not installed; lint gate skipped"
 fi

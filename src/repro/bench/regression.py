@@ -68,10 +68,10 @@ EXACT_METRICS = (
 BANDED_METRICS = ("write_bw", "read_bw")
 
 
-def _strategies():
-    from ..enzo import HDF4Strategy, HDF5Strategy, MPIIOStrategy
+def _make_strategy(name: str, hints: Hints | None):
+    from ..iostack import registry
 
-    return {"hdf4": HDF4Strategy, "mpi-io": MPIIOStrategy, "hdf5": HDF5Strategy}
+    return registry.create(name, hints=hints)
 
 
 # -- the fig5 access-pattern cell --------------------------------------------
@@ -131,14 +131,15 @@ def _run_pattern_cell(cell: Cell, hints: Hints | None) -> dict:
 
 
 def _run_figure_cell(cell: Cell, hints: Hints | None) -> dict:
-    strategies = _strategies()
+    from ..iostack import registry
+
     machine = PRESETS[cell.machine](nprocs=cell.nprocs)
-    if hints is not None and cell.strategy == "hdf4":
+    if hints is not None and not registry.get(cell.strategy).takes_hints:
         raise ValueError(
-            f"cannot perturb {cell.id}: the hdf4 strategy takes no MPI-IO hints"
+            f"cannot perturb {cell.id}: the {cell.strategy} strategy "
+            "takes no MPI-IO hints"
         )
-    kwargs = {"hints": hints} if hints is not None else {}
-    strategy = strategies[cell.strategy](**kwargs)
+    strategy = _make_strategy(cell.strategy, hints)
     result, trace = run_traced_experiment(
         machine,
         strategy,

@@ -36,16 +36,17 @@ from .bench import (
 )
 from .bench.figures import render_figure
 from .core import format_table
-from .enzo import HDF4Strategy, HDF5Strategy, MPIIOStrategy, table1
+from .enzo import table1
+from .iostack import registry
 from .topology import PRESETS, chiba_city, chiba_city_local, ibm_sp2, origin2000
 
 __all__ = ["main"]
 
-STRATEGIES = {
-    "hdf4": HDF4Strategy,
-    "mpi-io": MPIIOStrategy,
-    "hdf5": HDF5Strategy,
-}
+
+def _make_strategy(name: str, retry=None):
+    """Instantiate a registered strategy composition by name."""
+    return registry.create(name, retry=retry)
+
 
 def _retry_policy(args):
     """A RetryPolicy from ``--retries N``, or None when N == 0."""
@@ -143,7 +144,7 @@ def cmd_figure(args) -> int:
         for name in spec["strategies"]:
             result = run_checkpoint_experiment(
                 spec["machine"](nprocs),
-                STRATEGIES[name](),
+                _make_strategy(name),
                 dump,
                 nprocs=nprocs,
                 read_hierarchy=init,
@@ -212,7 +213,7 @@ def cmd_analyze(args) -> int:
     machine = origin2000(nprocs=args.procs or 8)
     hierarchy = build_workload(args.problem)
     trace = trace_filesystem(machine.fs, include_meta=True)
-    strategy = STRATEGIES[args.strategy](retry=_retry_policy(args))
+    strategy = _make_strategy(args.strategy, retry=_retry_policy(args))
 
     def program(comm):
         state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
@@ -296,7 +297,7 @@ def cmd_simulate(args) -> int:
         return 2
     sim = EnzoSimulation(
         config=config,
-        strategy=STRATEGIES[args.strategy](retry=_retry_policy(args)),
+        strategy=_make_strategy(args.strategy, retry=_retry_policy(args)),
         hierarchy=EnzoSimulation.build_initial_hierarchy(config),
     )
     try:
@@ -331,13 +332,13 @@ def cmd_table(args) -> int:
     dump = build_workload(args.problem)
     init = build_initial_workload(args.problem)
     rows = []
-    for name in sorted(STRATEGIES):
+    for name in registry.names():
         machine = preset(nprocs=args.procs)
         if args.inject and not _arm_fault(machine.fs, args.inject):
             return 2
         result = run_checkpoint_experiment(
             machine,
-            STRATEGIES[name](retry=_retry_policy(args)),
+            _make_strategy(name, retry=_retry_policy(args)),
             dump,
             nprocs=args.procs,
             read_hierarchy=init,
@@ -347,6 +348,29 @@ def cmd_table(args) -> int:
 
     print(f"strategy comparison -- {args.problem}, P={args.procs}")
     print(format_table(ExperimentResult.HEADERS, rows))
+    return 0
+
+
+def cmd_strategies(args) -> int:
+    """List the registered strategy compositions (layered I/O stack)."""
+    rows = []
+    for comp in registry.compositions():
+        rows.append([
+            comp.name,
+            comp.layout,
+            comp.transport,
+            comp.format,
+            "yes" if comp.takes_hints else "no",
+            ", ".join(f"{k}={v}" for k, v in sorted(comp.options.items()))
+            or "-",
+        ])
+    print("registered I/O strategy compositions (repro.iostack.registry)")
+    print(format_table(
+        ["name", "layout", "transport", "format", "hints", "options"], rows
+    ))
+    for comp in registry.compositions():
+        if comp.description:
+            print(f"  {comp.name}: {comp.description}")
     return 0
 
 
@@ -450,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     a = sub.add_parser("analyze", help="trace a dump and print the report")
     a.add_argument("--problem", default="AMR32")
     a.add_argument("--procs", type=int, default=8)
-    a.add_argument("--strategy", choices=sorted(STRATEGIES), default="mpi-io")
+    a.add_argument("--strategy", choices=sorted(registry.names()), default="mpi-io")
     a.add_argument("--trace", default=None, metavar="PATH",
                    help="analyze a saved trace instead of running a dump")
     a.add_argument("--save-trace", default=None, metavar="PATH",
@@ -467,7 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="processor count of the traced run (sharpens rules)")
     i.add_argument("--stripe", type=int, default=1 << 20,
                    help="file-system stripe size in bytes (default 1 MiB)")
-    i.add_argument("--strategy", choices=sorted(STRATEGIES), default=None,
+    i.add_argument("--strategy", choices=sorted(registry.names()), default=None,
                    help="strategy that produced the trace, if known")
     i.add_argument("--json", action="store_true",
                    help="emit the diagnosis as JSON")
@@ -483,7 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     t.add_argument("--problem", default="AMR32")
     t.add_argument("--procs", type=int, default=8)
-    t.add_argument("--strategy", choices=sorted(STRATEGIES), default="hdf4",
+    t.add_argument("--strategy", choices=sorted(registry.names()), default="hdf4",
                    help="baseline strategy to start from (default hdf4)")
     t.add_argument("--machine", choices=sorted(PRESETS), default="origin2000")
     t.add_argument("--rounds", type=int, default=3,
@@ -505,6 +529,11 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="OP[:MODE[:PATH[:AFTER]]]",
                     help="arm one injected fault before each strategy's run "
                          "(recoveries show in the 'recov' column)")
+
+    sub.add_parser(
+        "strategies",
+        help="list registered I/O strategy compositions",
+    )
 
     r = sub.add_parser(
         "regress",
@@ -535,7 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--problem", default="AMR32")
     s.add_argument("--procs", type=int, default=8)
     s.add_argument("--cycles", type=int, default=2)
-    s.add_argument("--strategy", choices=sorted(STRATEGIES), default="mpi-io")
+    s.add_argument("--strategy", choices=sorted(registry.names()), default="mpi-io")
     s.add_argument("--retries", type=int, default=0, metavar="N",
                    help="retry transient I/O faults up to N times")
     s.add_argument("--inject", default=None,
@@ -556,6 +585,7 @@ def main(argv=None) -> int:
         "tune": cmd_tune,
         "simulate": cmd_simulate,
         "table": cmd_table,
+        "strategies": cmd_strategies,
         "regress": cmd_regress,
     }[args.command]
     try:

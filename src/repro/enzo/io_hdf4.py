@@ -9,74 +9,23 @@ written through the sequential HDF4 library.
 
 Read: processor 0 reads the whole top grid, partitions it, and scatters the
 pieces; subgrids are read round-robin (restart behaviour), one file each.
+
+Since the layered-stack refactor this module is a thin composition: the
+movement plan lives in :class:`repro.iostack.transports.FunnelTransport`,
+the HDF4 SD object model in :class:`repro.iostack.formats.HDF4SDFormat`,
+and the orchestration in the :class:`~repro.enzo.io_base.StackExecutor`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..amr.grid import Grid
-from ..amr.particles import PARTICLE_ARRAYS, ParticleSet
-from ..amr.partition import BlockPartition
-from ..hdf4.sd import SDFile
-from ..mpi import collectives as coll
-from ..mpi.comm import Comm
-from ..resilience.manifest import entry_for_bytes
+from ..iostack.layouts import subgrid_path, top_grid_path
 from ..resilience.retry import RetryPolicy
-from .io_base import IOStats, IOStrategy
-from .meta import array_dtype
-from .state import RankState, make_owner_map
+from .io_base import ComposedStrategy
 
 __all__ = ["HDF4Strategy", "top_grid_path", "subgrid_path"]
 
 
-def top_grid_path(base: str) -> str:
-    return f"{base}.grid0000"
-
-
-def subgrid_path(base: str, gid: int) -> str:
-    return f"{base}.grid{gid:04d}"
-
-
-def _write_grid_sd(sd: SDFile, grid: Grid, entries: list | None = None) -> int:
-    """Write one grid's arrays (canonical order) into an open SD file.
-
-    Appends a manifest entry per array to ``entries`` when given.
-    """
-    path = sd._adio.path
-    nbytes = 0
-
-    def _put(name: str, arr) -> None:
-        nonlocal nbytes
-        sds = sd.create(name, arr.dtype, arr.shape)
-        sds.write(arr)
-        if entries is not None:
-            entries.append(entry_for_bytes(
-                f"{path}:{name}", path, sds.entry.data_offset, arr
-            ))
-        nbytes += arr.nbytes
-
-    for name, arr in grid.fields.items():
-        _put(name, arr)
-    parts = grid.particles
-    # "particle/" prefix keeps particle velocity_* distinct from the baryon
-    # velocity fields (real ENZO names these particle_velocity_x etc.).
-    for name in PARTICLE_ARRAYS:
-        _put(f"particle/{name}", np.ascontiguousarray(parts.array(name)))
-    return nbytes
-
-
-def _read_grid_sd(sd: SDFile, shell: Grid) -> None:
-    """Fill a grid shell from an open SD file (canonical order)."""
-    for name in shell.fields:
-        shell.fields[name] = sd.select(name).read()
-    arrays = {
-        name: sd.select(f"particle/{name}").read() for name in PARTICLE_ARRAYS
-    }
-    shell.particles = ParticleSet.from_arrays(arrays)
-
-
-class HDF4Strategy(IOStrategy):
+class HDF4Strategy(ComposedStrategy):
     """Original sequential-HDF4 I/O (the paper's baseline).
 
     ``read_mode`` selects which of the original code's two read paths the
@@ -96,161 +45,20 @@ class HDF4Strategy(IOStrategy):
     def __init__(
         self, read_mode: str = "master", retry: RetryPolicy | None = None
     ):
-        if read_mode not in ("master", "round_robin"):
-            raise ValueError(f"unknown read_mode {read_mode!r}")
-        self.read_mode = read_mode
-        self.retry = retry
+        # Formats/transports are imported lazily so this module stays
+        # importable while the iostack package is mid-import.
+        from ..iostack.formats import HDF4SDFormat
+        from ..iostack.layouts import FilePerGridLayoutPlanner
+        from ..iostack.transports import FunnelTransport
 
-    # -- write -------------------------------------------------------------
-
-    def write_checkpoint(self, comm: Comm, state: RankState, base: str) -> IOStats:
-        stats = IOStats(strategy=self.name, operation="write")
-        t0 = comm.clock
-        self.write_meta_sidecar(comm, base, state.meta)
-
-        # Phase 1: gather the top-grid pieces to processor 0 and combine.
-        t = comm.clock
-        pieces = coll.gather(comm, state.top_piece, root=0)
-        if comm.rank == 0:
-            template = self.make_root_shell(state.meta)
-            combined = state.partition.reassemble(template, pieces)
-            comm.compute(comm.machine.memcpy_time(combined.data_nbytes))
-        stats.add_phase("top_gather", comm.clock - t)
-
-        # Phase 2: processor 0 writes the combined top grid, sequentially.
-        t = comm.clock
-        entries: list = []
-        if comm.rank == 0:
-            sd = SDFile.start(comm, top_grid_path(base), "w", retry=self.retry)
-            stats.bytes_moved += _write_grid_sd(sd, combined, entries)
-            sd.end()
-        stats.add_phase("top_write", comm.clock - t)
-
-        # Phase 3: subgrids -- each owner writes its own per-grid files.
-        t = comm.clock
-        for gid in sorted(state.subgrids):
-            sd = SDFile.start(comm, subgrid_path(base, gid), "w", retry=self.retry)
-            stats.bytes_moved += _write_grid_sd(sd, state.subgrids[gid], entries)
-            sd.end()
-        coll.barrier(comm)
-        stats.add_phase("subgrids", comm.clock - t)
-
-        self.write_manifest(comm, base, entries)
-        stats.elapsed = comm.clock - t0
-        return stats
-
-    # -- read ------------------------------------------------------------------
-
-    def read_checkpoint(self, comm: Comm, base: str) -> tuple[RankState, IOStats]:
-        stats = IOStats(strategy=self.name, operation="read")
-        t0 = comm.clock
-        meta = self.read_meta_sidecar(comm, base)
-        self.verify_manifest(comm, base)
-        partition = BlockPartition(meta.root.dims, comm.size)
-
-        # Phase 1+2: processor 0 reads the whole top grid, partitions it and
-        # scatters the pieces ("having processor 0 redistributing the grid
-        # data to all other processors").
-        t = comm.clock
-        if comm.rank == 0:
-            shell = self.make_root_shell(meta)
-            sd = SDFile.start(comm, top_grid_path(base), "r", retry=self.retry)
-            _read_grid_sd(sd, shell)
-            sd.end()
-            stats.bytes_moved += shell.data_nbytes
-            pieces = [partition.extract(shell, r) for r in range(comm.size)]
-            comm.compute(comm.machine.memcpy_time(shell.data_nbytes))
-        else:
-            pieces = None
-        top_piece = coll.scatter(comm, pieces, root=0)
-        stats.add_phase("top_read_scatter", comm.clock - t)
-
-        # Phase 3: subgrids.
-        t = comm.clock
-        owner = make_owner_map(meta, comm.size, policy="round_robin")
-        subgrids: dict[int, Grid] = {}
-        if self.read_mode == "master":
-            # New-simulation path: P0 reads every subgrid file sequentially
-            # and sends each to its assigned processor.
-            for gid in meta.subgrid_ids():
-                shell = None
-                if comm.rank == 0:
-                    shell = self.make_subgrid_shell(meta, gid)
-                    sd = SDFile.start(comm, subgrid_path(base, gid), "r", retry=self.retry)
-                    _read_grid_sd(sd, shell)
-                    sd.end()
-                    stats.bytes_moved += shell.data_nbytes
-                dest = owner[gid]
-                if dest == 0:
-                    if comm.rank == 0:
-                        subgrids[gid] = shell
-                elif comm.rank == 0:
-                    comm.send(shell, dest, tag=17)
-                elif comm.rank == dest:
-                    subgrids[gid] = comm.recv(0, tag=17)
-            coll.barrier(comm)
-        else:
-            # Restart path: every processor reads its files round-robin.
-            for gid in meta.subgrid_ids():
-                if owner[gid] != comm.rank:
-                    continue
-                shell = self.make_subgrid_shell(meta, gid)
-                sd = SDFile.start(comm, subgrid_path(base, gid), "r", retry=self.retry)
-                _read_grid_sd(sd, shell)
-                sd.end()
-                stats.bytes_moved += shell.data_nbytes
-                subgrids[gid] = shell
-            coll.barrier(comm)
-        stats.add_phase("subgrids", comm.clock - t)
-
-        stats.elapsed = comm.clock - t0
-        return (
-            RankState(
-                rank=comm.rank,
-                nprocs=comm.size,
-                meta=meta,
-                partition=partition,
-                top_piece=top_piece,
-                subgrids=subgrids,
-                owner=owner,
-            ),
-            stats,
+        super().__init__(
+            "hdf4",
+            FilePerGridLayoutPlanner(),
+            FunnelTransport(read_mode=read_mode),
+            HDF4SDFormat(),
+            retry=retry,
         )
 
-    # -- new-simulation (initial) read --------------------------------------
-
-    def read_initial(self, comm: Comm, base: str):
-        """Original new-simulation read: P0 reads every grid sequentially,
-        partitions it (Block, Block, Block) and distributes the pieces."""
-        from .io_base import IOStats
-        from .state import PartitionedState
-
-        stats = IOStats(strategy=self.name, operation="read_initial")
-        t0 = comm.clock
-        meta = self.read_meta_sidecar(comm, base)
-        state = PartitionedState(rank=comm.rank, nprocs=comm.size, meta=meta)
-        for g in meta.grids():
-            gid = g.id
-            part = BlockPartition.for_grid(g.dims, comm.size)
-            state.partitions[gid] = part
-            pieces = None
-            if comm.rank == 0:
-                shell = (
-                    self.make_root_shell(meta)
-                    if gid == meta.root_id
-                    else self.make_subgrid_shell(meta, gid)
-                )
-                path = (
-                    top_grid_path(base) if gid == meta.root_id
-                    else subgrid_path(base, gid)
-                )
-                sd = SDFile.start(comm, path, "r", retry=self.retry)
-                _read_grid_sd(sd, shell)
-                sd.end()
-                stats.bytes_moved += shell.data_nbytes
-                comm.compute(comm.machine.memcpy_time(shell.data_nbytes))
-                pieces = [part.extract(shell, r) for r in range(part.nprocs)]
-                pieces += [None] * (comm.size - part.nprocs)
-            state.pieces[gid] = coll.scatter(comm, pieces, root=0)
-        stats.elapsed = comm.clock - t0
-        return state, stats
+    @property
+    def read_mode(self) -> str:
+        return self.transport.read_mode

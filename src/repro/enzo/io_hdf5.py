@@ -7,35 +7,27 @@ library, which adds the four overheads the paper measured: per-dataset
 create/close synchronisation (and there is one dataset per array per grid),
 metadata interleaved with data (misaligned offsets, small metadata writes),
 recursive hyperslab packing, and rank-0-only attribute writes.
+
+Since the layered-stack refactor this module is a thin composition: the
+movement plan is the same :class:`~repro.iostack.transports.CollectiveTransport`
+the MPI-IO strategy uses, the HDF5 object model lives in
+:class:`repro.iostack.formats.HDF5Format`, and the orchestration in the
+:class:`~repro.enzo.io_base.StackExecutor`.  The paper's Section 5 remedy
+is the registered ``hdf5-aligned`` composition: the same layers with
+``meta_aggregation`` and ``alignment`` options on the format.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..amr.grid import Grid
-from ..amr.particles import PARTICLE_ARRAYS, ParticleSet
-from ..amr.partition import BlockPartition
-from ..hdf5.dataspace import Hyperslab
-from ..hdf5.file import H5Costs, H5File
-from ..mpi.comm import Comm
+from ..hdf5.file import H5Costs
 from ..mpiio.hints import Hints
-from ..resilience.manifest import entry_for_segments
 from ..resilience.retry import RetryPolicy
-from .io_base import IOStats, IOStrategy
-from .meta import array_dtype
-from .sort import parallel_sort_by_id
-from .state import RankState, make_owner_map
+from .io_base import ComposedStrategy
 
 __all__ = ["HDF5Strategy"]
 
 
-def _dset_name(grid_key, kind: str, array_name: str) -> str:
-    """Dataset path; ``kind`` disambiguates field vs particle velocity_*."""
-    return f"{grid_key}/{kind}/{array_name}"
-
-
-class HDF5Strategy(IOStrategy):
+class HDF5Strategy(ComposedStrategy):
     """Parallel HDF5 I/O through the mpio driver."""
 
     name = "hdf5"
@@ -46,278 +38,16 @@ class HDF5Strategy(IOStrategy):
         costs: H5Costs | None = None,
         retry: RetryPolicy | None = None,
     ):
+        from ..iostack.formats import HDF5Format
+        from ..iostack.layouts import SharedFileLayoutPlanner
+        from ..iostack.transports import CollectiveTransport
+
         self.hints = hints or Hints()
         self.costs = costs or H5Costs()
-        self.retry = retry
-
-    # -- write -------------------------------------------------------------
-
-    def write_checkpoint(self, comm: Comm, state: RankState, base: str) -> IOStats:
-        stats = IOStats(strategy=self.name, operation="write")
-        t0 = comm.clock
-        meta = state.meta
-        self.write_meta_sidecar(comm, base, meta)
-        f = H5File.create(
-            comm, base, driver="mpio", hints=self.hints, costs=self.costs,
-            retry=self.retry,
+        super().__init__(
+            "hdf5",
+            SharedFileLayoutPlanner(),
+            CollectiveTransport(),
+            HDF5Format(self.hints, costs=self.costs),
+            retry=retry,
         )
-        entries = []
-
-        # Phase 1: top-grid fields -- collective hyperslab writes.
-        t = comm.clock
-        starts, sizes = state.partition.block_of(comm.rank)
-        for name, arr in state.top_piece.fields.items():
-            d = f.create_dataset(_dset_name("top", "field", name), meta.root.dims, np.float64)
-            sel = Hyperslab(start=starts, count=sizes)
-            self._collective_or_degraded(
-                comm, base,
-                lambda: d.write(arr, sel, collective=True),
-                lambda: d.write(arr, sel, collective=False),
-                nbytes=arr.nbytes,
-            )
-            entries.append(entry_for_segments(
-                f"top/field/{name}/r{comm.rank:04d}", base,
-                d.file_segments(sel), arr,
-            ))
-            d.write_attr("level", 0)
-            d.close()
-            stats.bytes_moved += arr.nbytes
-        stats.add_phase("top_fields", comm.clock - t)
-
-        # Phase 2: top-grid particles -- sort, then independent block writes.
-        t = comm.clock
-        sorted_parts, elem_offset, counts = parallel_sort_by_id(
-            comm, state.top_piece.particles
-        )
-        n_total = meta.root.nparticles
-        for name in PARTICLE_ARRAYS:
-            d = f.create_dataset(
-                _dset_name("top", "particle", name), (max(n_total, 1),), array_dtype(name)
-            )
-            if len(sorted_parts):
-                arr = np.ascontiguousarray(sorted_parts.array(name))
-                sel = Hyperslab(start=(elem_offset,), count=(len(arr),))
-                d.write(arr, sel, collective=False)
-                entries.append(entry_for_segments(
-                    f"top/particle/{name}/r{comm.rank:04d}", base,
-                    d.file_segments(sel), arr,
-                ))
-                stats.bytes_moved += arr.nbytes
-            d.close()
-        stats.add_phase("top_particles", comm.clock - t)
-
-        # Phase 3: subgrids -- every dataset creation is collective (all
-        # ranks synchronise for every array of every grid), then the owner
-        # writes independently.
-        t = comm.clock
-        for gid in meta.subgrid_ids():
-            g = meta[gid]
-            mine = state.subgrids.get(gid)
-            for name in list(state.top_piece.fields.names):
-                d = f.create_dataset(_dset_name(gid, "field", name), g.dims, np.float64)
-                if mine is not None:
-                    d.write(mine.fields[name], collective=False)
-                    entries.append(entry_for_segments(
-                        f"grid{gid}/field/{name}", base,
-                        d.file_segments(), mine.fields[name],
-                    ))
-                    stats.bytes_moved += mine.fields[name].nbytes
-                d.close()
-            gparts = mine.particles.sort_by_id() if mine is not None else None
-            for name in PARTICLE_ARRAYS:
-                d = f.create_dataset(
-                    _dset_name(gid, "particle", name),
-                    (max(g.nparticles, 1),),
-                    array_dtype(name),
-                )
-                if mine is not None and g.nparticles:
-                    arr = np.ascontiguousarray(gparts.array(name))
-                    sel = Hyperslab(start=(0,), count=(len(arr),))
-                    d.write(arr, sel, collective=False)
-                    entries.append(entry_for_segments(
-                        f"grid{gid}/particle/{name}", base,
-                        d.file_segments(sel), arr,
-                    ))
-                    stats.bytes_moved += arr.nbytes
-                d.close()
-        stats.add_phase("subgrids", comm.clock - t)
-
-        f.close()
-        self.write_manifest(comm, base, entries)
-        stats.elapsed = comm.clock - t0
-        return stats
-
-    # -- read ------------------------------------------------------------------
-
-    def read_checkpoint(self, comm: Comm, base: str) -> tuple[RankState, IOStats]:
-        from .io_mpiio import MPIIOStrategy  # reuse redistribution helper
-
-        stats = IOStats(strategy=self.name, operation="read")
-        t0 = comm.clock
-        meta = self.read_meta_sidecar(comm, base)
-        self.verify_manifest(comm, base)
-        partition = BlockPartition(meta.root.dims, comm.size)
-        f = H5File.open(
-            comm, base, driver="mpio", hints=self.hints, costs=self.costs,
-            retry=self.retry,
-        )
-
-        helper = MPIIOStrategy(self.hints)
-
-        # Phase 1: top fields, collective hyperslab reads.
-        t = comm.clock
-        starts, sizes = partition.block_of(comm.rank)
-        top_piece = helper._make_top_piece_shell(meta, partition, comm.rank)
-        for name in top_piece.fields:
-            d = f.open_dataset(_dset_name("top", "field", name))
-            got = d.read(Hyperslab(start=starts, count=sizes), collective=True)
-            top_piece.fields[name] = got
-            d.close()
-            stats.bytes_moved += got.nbytes
-        stats.add_phase("top_fields", comm.clock - t)
-
-        # Phase 2: particles -- blockwise independent reads + redistribution.
-        t = comm.clock
-        n_total = meta.root.nparticles
-        lo = (n_total * comm.rank) // comm.size
-        hi = (n_total * (comm.rank + 1)) // comm.size
-        arrays = {}
-        for name in PARTICLE_ARRAYS:
-            d = f.open_dataset(_dset_name("top", "particle", name))
-            if hi > lo:
-                got = d.read(
-                    Hyperslab(start=(lo,), count=(hi - lo,)), collective=False
-                )
-            else:
-                got = np.empty(0, dtype=array_dtype(name))
-            arrays[name] = got
-            d.close()
-            stats.bytes_moved += got.nbytes
-        block = ParticleSet.from_arrays(arrays)
-        top_piece.particles = helper._redistribute_particles(
-            comm, block, meta, partition
-        )
-        stats.add_phase("top_particles", comm.clock - t)
-
-        # Phase 3: subgrids round-robin.  Dataset open/close are collective
-        # in parallel HDF5, so every rank walks every dataset even though
-        # only the round-robin owner reads data -- one of the synchronisation
-        # costs the paper measured.
-        t = comm.clock
-        owner = make_owner_map(meta, comm.size, policy="round_robin")
-        subgrids: dict[int, Grid] = {}
-        field_names = list(top_piece.fields.names)
-        for gid in meta.subgrid_ids():
-            g = meta[gid]
-            mine = owner[gid] == comm.rank
-            shell = self.make_subgrid_shell(meta, gid) if mine else None
-            for name in field_names:
-                d = f.open_dataset(_dset_name(gid, "field", name))
-                if mine:
-                    shell.fields[name] = d.read(collective=False)
-                    stats.bytes_moved += shell.fields[name].nbytes
-                d.close()
-            parrays = {}
-            for name in PARTICLE_ARRAYS:
-                d = f.open_dataset(_dset_name(gid, "particle", name))
-                if mine:
-                    if g.nparticles:
-                        got = d.read(
-                            Hyperslab(start=(0,), count=(g.nparticles,)),
-                            collective=False,
-                        )
-                    else:
-                        got = np.empty(0, dtype=array_dtype(name))
-                    parrays[name] = got
-                    stats.bytes_moved += got.nbytes
-                d.close()
-            if mine:
-                shell.particles = ParticleSet.from_arrays(parrays)
-                subgrids[gid] = shell
-        stats.add_phase("subgrids", comm.clock - t)
-
-        f.close()
-        stats.elapsed = comm.clock - t0
-        return (
-            RankState(
-                rank=comm.rank,
-                nprocs=comm.size,
-                meta=meta,
-                partition=partition,
-                top_piece=top_piece,
-                subgrids=subgrids,
-                owner=owner,
-            ),
-            stats,
-        )
-
-    # -- new-simulation (initial) read --------------------------------------
-
-    def read_initial(self, comm: Comm, base: str):
-        """Parallel new-simulation read via hyperslab selections."""
-        from .state import PartitionedState
-
-        stats = IOStats(strategy=self.name, operation="read_initial")
-        t0 = comm.clock
-        meta = self.read_meta_sidecar(comm, base)
-        f = H5File.open(
-            comm, base, driver="mpio", hints=self.hints, costs=self.costs,
-            retry=self.retry,
-        )
-        from .io_mpiio import MPIIOStrategy
-
-        helper = MPIIOStrategy(self.hints)
-        state = PartitionedState(rank=comm.rank, nprocs=comm.size, meta=meta)
-        field_names = list(helper._field_names())
-        for g in meta.grids():
-            gid = g.id
-            key = "top" if gid == meta.root_id else gid
-            part = BlockPartition.for_grid(g.dims, comm.size)
-            state.partitions[gid] = part
-            active = comm.rank < part.nprocs
-            piece = helper._make_piece_shell(meta, gid, part, comm.rank) if active else None
-            for name in field_names:
-                d = f.open_dataset(_dset_name(key, "field", name))
-                if active:
-                    starts, sizes = part.block_of(comm.rank)
-                    got = d.read(
-                        Hyperslab(start=starts, count=sizes), collective=True
-                    )
-                    piece.fields[name] = got
-                    stats.bytes_moved += got.nbytes
-                else:
-                    # Collective read with an empty selection.
-                    d.read(
-                        Hyperslab(start=(0,) * len(g.dims), count=(0,) * len(g.dims)),
-                        collective=True,
-                    )
-                d.close()
-            n_total = g.nparticles
-            active_ranks = part.nprocs
-            if comm.rank < active_ranks:
-                lo = (n_total * comm.rank) // active_ranks
-                hi = (n_total * (comm.rank + 1)) // active_ranks
-            else:
-                lo = hi = 0
-            arrays = {}
-            for name in PARTICLE_ARRAYS:
-                d = f.open_dataset(_dset_name(key, "particle", name))
-                if hi > lo:
-                    got = d.read(
-                        Hyperslab(start=(lo,), count=(hi - lo,)), collective=False
-                    )
-                else:
-                    got = np.empty(0, dtype=array_dtype(name))
-                arrays[name] = got
-                d.close()
-                stats.bytes_moved += got.nbytes
-            block = ParticleSet.from_arrays(arrays)
-            mine = helper._redistribute_grid_particles(comm, block, meta, gid, part)
-            if piece is not None:
-                piece.particles = mine
-                state.pieces[gid] = piece
-            else:
-                state.pieces[gid] = None
-        f.close()
-        stats.elapsed = comm.clock - t0
-        return state, stats

@@ -10,32 +10,24 @@
   same single shared file** at offsets every rank derives from the
   replicated hierarchy metadata (Section 3.2.2's single-file optimisation);
   restart reads them round-robin.
+
+Since the layered-stack refactor this module is a thin composition: the
+movement plan lives in
+:class:`repro.iostack.transports.CollectiveTransport`, the raw shared-file
+byte layout in :class:`repro.iostack.formats.RawSharedFormat`, and the
+orchestration in the :class:`~repro.enzo.io_base.StackExecutor`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..amr.grid import Grid
-from ..amr.particles import PARTICLE_ARRAYS, ParticleSet
-from ..amr.partition import BlockPartition
-from ..mpi import collectives as coll
-from ..mpi.comm import Comm
-from ..mpi.datatypes import FLOAT64, Subarray
-from ..mpiio.file import File
 from ..mpiio.hints import Hints
-from ..resilience.manifest import entry_for_bytes, entry_for_segments
 from ..resilience.retry import RetryPolicy
-from .io_base import IOStats, IOStrategy
-from .layout import TOP, CheckpointLayout
-from .meta import array_dtype
-from .sort import parallel_sort_by_id
-from .state import RankState, make_owner_map
+from .io_base import ComposedStrategy
 
 __all__ = ["MPIIOStrategy"]
 
 
-class MPIIOStrategy(IOStrategy):
+class MPIIOStrategy(ComposedStrategy):
     """Optimised parallel I/O via MPI-IO (the paper's contribution)."""
 
     name = "mpi-io"
@@ -43,301 +35,42 @@ class MPIIOStrategy(IOStrategy):
     def __init__(
         self, hints: Hints | None = None, retry: RetryPolicy | None = None
     ):
+        from ..iostack.formats import RawSharedFormat
+        from ..iostack.layouts import SharedFileLayoutPlanner
+        from ..iostack.transports import CollectiveTransport
+
         self.hints = hints or Hints()
-        self.retry = retry
-
-    # -- write -------------------------------------------------------------
-
-    def write_checkpoint(self, comm: Comm, state: RankState, base: str) -> IOStats:
-        stats = IOStats(strategy=self.name, operation="write")
-        t0 = comm.clock
-        layout = CheckpointLayout(state.meta)
-        self.write_meta_sidecar(comm, base, state.meta)
-        fh = File.open(comm, base, "w", hints=self.hints, retry=self.retry)
-        entries = []
-
-        # Phase 1: top-grid baryon fields, collective with subarray views.
-        t = comm.clock
-        starts, sizes = state.partition.block_of(comm.rank)
-        root_dims = state.meta.root.dims
-        for name, arr in state.top_piece.fields.items():
-            ext = layout.extent(TOP, name)
-            ftype = Subarray(root_dims, sizes, starts, FLOAT64)
-            fh.set_view(ext.offset, FLOAT64, ftype)
-            self._collective_or_degraded(
-                comm, base,
-                lambda: fh.write_at_all(0, arr),
-                lambda: fh.write_at(0, arr),
-                nbytes=arr.nbytes,
-            )
-            entries.append(entry_for_segments(
-                f"top/field/{name}/r{comm.rank:04d}", base,
-                fh.view_segments(0, arr.nbytes), arr,
-            ))
-            stats.bytes_moved += arr.nbytes
-        stats.add_phase("top_fields", comm.clock - t)
-
-        # Phase 2: top-grid particles -- parallel sort + block-wise writes.
-        t = comm.clock
-        fh.set_view(0)  # back to the plain byte view
-        sorted_parts, elem_offset, _counts = parallel_sort_by_id(
-            comm, state.top_piece.particles
-        )
-        for name in PARTICLE_ARRAYS:
-            ext = layout.extent(TOP, name, "particle")
-            arr = np.ascontiguousarray(sorted_parts.array(name))
-            offset = ext.offset + elem_offset * ext.dtype.itemsize
-            fh.write_at(offset, arr)
-            entries.append(entry_for_bytes(
-                f"top/particle/{name}/r{comm.rank:04d}", base, offset, arr
-            ))
-            stats.bytes_moved += arr.nbytes
-        stats.add_phase("top_particles", comm.clock - t)
-
-        # Phase 3: subgrids -- independent writes into the shared file.
-        t = comm.clock
-        for gid in sorted(state.subgrids):
-            grid = state.subgrids[gid]
-            for name, arr in grid.fields.items():
-                ext = layout.extent(gid, name)
-                fh.write_at(ext.offset, arr)
-                entries.append(entry_for_bytes(
-                    f"grid{gid}/field/{name}", base, ext.offset, arr
-                ))
-                stats.bytes_moved += arr.nbytes
-            gparts = grid.particles.sort_by_id()
-            for name in PARTICLE_ARRAYS:
-                ext = layout.extent(gid, name, "particle")
-                arr = np.ascontiguousarray(gparts.array(name))
-                fh.write_at(ext.offset, arr)
-                entries.append(entry_for_bytes(
-                    f"grid{gid}/particle/{name}", base, ext.offset, arr
-                ))
-                stats.bytes_moved += arr.nbytes
-        stats.add_phase("subgrids", comm.clock - t)
-
-        fh.close()
-        self.write_manifest(comm, base, entries)
-        stats.elapsed = comm.clock - t0
-        return stats
-
-    # -- read ------------------------------------------------------------------
-
-    def read_checkpoint(self, comm: Comm, base: str) -> tuple[RankState, IOStats]:
-        stats = IOStats(strategy=self.name, operation="read")
-        t0 = comm.clock
-        meta = self.read_meta_sidecar(comm, base)
-        self.verify_manifest(comm, base)
-        layout = CheckpointLayout(meta)
-        partition = BlockPartition(meta.root.dims, comm.size)
-        fh = File.open(comm, base, "r", hints=self.hints, retry=self.retry)
-
-        # Phase 1: top-grid fields, collective subarray reads.
-        t = comm.clock
-        starts, sizes = partition.block_of(comm.rank)
-        top_piece = self._make_top_piece_shell(meta, partition, comm.rank)
-        for name in top_piece.fields:
-            ext = layout.extent(TOP, name)
-            ftype = Subarray(meta.root.dims, sizes, starts, FLOAT64)
-            fh.set_view(ext.offset, FLOAT64, ftype)
-            got = fh.read_at_all(0, np.empty(sizes, dtype=np.float64))
-            top_piece.fields[name] = got
-            stats.bytes_moved += got.nbytes
-        stats.add_phase("top_fields", comm.clock - t)
-
-        # Phase 2: particles -- block-wise contiguous reads, then
-        # redistribution by position against the grid edges.
-        t = comm.clock
-        fh.set_view(0)
-        n_total = meta.root.nparticles
-        lo = (n_total * comm.rank) // comm.size
-        hi = (n_total * (comm.rank + 1)) // comm.size
-        arrays = {}
-        for name in PARTICLE_ARRAYS:
-            ext = layout.extent(TOP, name, "particle")
-            dt = array_dtype(name)
-            raw = fh.read_at(
-                ext.offset + lo * dt.itemsize, int((hi - lo) * dt.itemsize)
-            )
-            arrays[name] = np.frombuffer(raw, dtype=dt).copy()
-            stats.bytes_moved += len(raw)
-        block = ParticleSet.from_arrays(arrays)
-        top_piece.particles = self._redistribute_particles(
-            comm, block, meta, partition
-        )
-        stats.add_phase("top_particles", comm.clock - t)
-
-        # Phase 3: subgrids, round-robin owners read whole arrays.
-        t = comm.clock
-        owner = make_owner_map(meta, comm.size, policy="round_robin")
-        subgrids: dict[int, Grid] = {}
-        for gid in meta.subgrid_ids():
-            if owner[gid] != comm.rank:
-                continue
-            grid = self.make_subgrid_shell(meta, gid)
-            for name in grid.fields:
-                ext = layout.extent(gid, name)
-                got = fh.read_at(ext.offset, np.empty(ext.shape, dtype=ext.dtype))
-                grid.fields[name] = got
-                stats.bytes_moved += got.nbytes
-            parrays = {}
-            for name in PARTICLE_ARRAYS:
-                ext = layout.extent(gid, name, "particle")
-                raw = fh.read_at(ext.offset, ext.nbytes)
-                parrays[name] = np.frombuffer(raw, dtype=ext.dtype).copy()
-                stats.bytes_moved += len(raw)
-            grid.particles = ParticleSet.from_arrays(parrays)
-            subgrids[gid] = grid
-        stats.add_phase("subgrids", comm.clock - t)
-
-        fh.close()
-        stats.elapsed = comm.clock - t0
-        return (
-            RankState(
-                rank=comm.rank,
-                nprocs=comm.size,
-                meta=meta,
-                partition=partition,
-                top_piece=top_piece,
-                subgrids=subgrids,
-                owner=owner,
-            ),
-            stats,
+        super().__init__(
+            "mpi-io",
+            SharedFileLayoutPlanner(),
+            CollectiveTransport(),
+            RawSharedFormat(self.hints),
+            retry=retry,
         )
 
-    # -- helpers -----------------------------------------------------------------
+    # -- back-compat helpers (now thin wrappers over iostack.transports) ----
 
-    def _make_top_piece_shell(self, meta, partition: BlockPartition, rank: int):
-        root = self.make_root_shell(meta)
-        starts, sizes = partition.block_of(rank)
-        left, right = partition.edges_of(rank, root)
-        return Grid(
-            id=root.id, level=0, dims=sizes, left_edge=left, right_edge=right
-        )
+    def _make_top_piece_shell(self, meta, partition, rank):
+        from ..iostack.transports import make_top_piece_shell
 
-    def _redistribute_particles(
-        self, comm: Comm, block: ParticleSet, meta, partition: BlockPartition
-    ) -> ParticleSet:
-        """Send each particle to the rank whose sub-domain contains it."""
-        root = self.make_root_shell(meta)
-        if len(block):
-            cells = root.cell_of(block.positions)
-            owners = partition.owner_of_cells(cells)
-        else:
-            owners = np.empty(0, dtype=np.int64)
-        outgoing = [block.select(owners == r) for r in range(comm.size)]
-        incoming = coll.alltoall(comm, outgoing)
-        return ParticleSet.concat(incoming).sort_by_id()
+        return make_top_piece_shell(meta, partition, rank)
 
-    # -- new-simulation (initial) read --------------------------------------
+    def _redistribute_particles(self, comm, block, meta, partition):
+        from ..iostack.transports import redistribute_particles
 
-    def read_initial(self, comm: Comm, base: str) -> tuple["PartitionedState", "IOStats"]:
-        """Parallel new-simulation read: every grid read collectively.
-
-        Paper Section 3.3 sense: "all processors read the top-grid in
-        parallel (collective I/O for regular partitioned baryon field data
-        and noncollective I/O for irregular partitioned particle data)...
-        the initial subgrid is read in the same way as the top-grid."
-        """
-        from .state import PartitionedState
-
-        stats = IOStats(strategy=self.name, operation="read_initial")
-        t0 = comm.clock
-        meta = self.read_meta_sidecar(comm, base)
-        layout = CheckpointLayout(meta)
-        fh = File.open(comm, base, "r", hints=self.hints, retry=self.retry)
-        state = PartitionedState(rank=comm.rank, nprocs=comm.size, meta=meta)
-        for g in meta.grids():
-            gid = g.id
-            key = TOP if gid == meta.root_id else gid
-            part = BlockPartition.for_grid(g.dims, comm.size)
-            state.partitions[gid] = part
-            active = comm.rank < part.nprocs
-            piece = self._make_piece_shell(meta, gid, part, comm.rank) if active else None
-            # Baryon fields: collective subarray reads (all ranks call).
-            for name in self._field_names():
-                ext = layout.extent(key, name)
-                if active:
-                    starts, sizes = part.block_of(comm.rank)
-                    ftype = Subarray(g.dims, sizes, starts, FLOAT64)
-                    fh.set_view(ext.offset, FLOAT64, ftype)
-                    got = fh.read_at_all(0, np.empty(sizes, dtype=np.float64))
-                    piece.fields[name] = got
-                    stats.bytes_moved += got.nbytes
-                else:
-                    fh.set_view(ext.offset)
-                    fh.read_at_all(0, 0)
-            fh.set_view(0)
-            # Particle arrays: block-wise reads + redistribution by position.
-            n_total = g.nparticles
-            active_ranks = part.nprocs
-            if comm.rank < active_ranks:
-                lo = (n_total * comm.rank) // active_ranks
-                hi = (n_total * (comm.rank + 1)) // active_ranks
-            else:
-                lo = hi = 0
-            arrays = {}
-            for name in PARTICLE_ARRAYS:
-                ext = layout.extent(key, name, "particle")
-                dt = array_dtype(name)
-                raw = fh.read_at(
-                    ext.offset + lo * dt.itemsize, int((hi - lo) * dt.itemsize)
-                )
-                arrays[name] = np.frombuffer(raw, dtype=dt).copy()
-                stats.bytes_moved += len(raw)
-            block = ParticleSet.from_arrays(arrays)
-            mine = self._redistribute_grid_particles(comm, block, meta, gid, part)
-            if piece is not None:
-                piece.particles = mine
-                state.pieces[gid] = piece
-            else:
-                state.pieces[gid] = None
-        fh.close()
-        stats.elapsed = comm.clock - t0
-        return state, stats
+        return redistribute_particles(comm, block, meta, partition)
 
     def _field_names(self):
-        from ..amr.fields import BARYON_FIELDS
+        from ..iostack.transports import field_names
 
-        return BARYON_FIELDS
+        return field_names()
 
-    def _make_piece_shell(self, meta, gid, part: BlockPartition, rank: int):
-        g = meta[gid]
-        shell = Grid(
-            id=g.id, level=g.level, dims=g.dims,
-            left_edge=np.array(g.left_edge),
-            right_edge=np.array(g.right_edge),
-            parent_id=g.parent_id,
-        )
-        starts, sizes = part.block_of(rank)
-        left, right = part.edges_of(rank, shell)
-        return Grid(
-            id=g.id, level=g.level, dims=sizes,
-            left_edge=left, right_edge=right, parent_id=g.parent_id,
-        )
+    def _make_piece_shell(self, meta, gid, part, rank):
+        from ..iostack.transports import make_piece_shell
 
-    def _redistribute_grid_particles(
-        self, comm: Comm, block: ParticleSet, meta, gid, part: BlockPartition
-    ) -> ParticleSet:
-        """Route particles to the rank whose sub-block of grid ``gid``
-        contains them."""
-        g = meta[gid]
-        shell = Grid(
-            id=g.id, level=g.level, dims=g.dims,
-            left_edge=np.array(g.left_edge),
-            right_edge=np.array(g.right_edge),
-            parent_id=g.parent_id,
-        )
-        if len(block):
-            cells = shell.cell_of(block.positions)
-            owners = part.owner_of_cells(cells)
-        else:
-            owners = np.empty(0, dtype=np.int64)
-        outgoing = [
-            block.select(owners == r) if r < part.nprocs else None
-            for r in range(comm.size)
-        ]
-        incoming = coll.alltoall(comm, outgoing)
-        return ParticleSet.concat(
-            [p for p in incoming if p is not None]
-        ).sort_by_id()
+        return make_piece_shell(meta, gid, part, rank)
+
+    def _redistribute_grid_particles(self, comm, block, meta, gid, part):
+        from ..iostack.transports import redistribute_grid_particles
+
+        return redistribute_grid_particles(comm, block, meta, gid, part)

@@ -1,0 +1,478 @@
+"""Format backends: how arrays become bytes in a file.
+
+The paper's top layer is the *format* level -- the self-describing object
+model the bytes go through: HDF4's SD interface (one sequential library
+call per array), a raw shared file (offsets derived externally, nothing in
+the file but data), or HDF5 datasets written through hyperslab selections
+over the mpio driver.
+
+A format object is a stateless factory; ``open_write``/``open_read``
+return a *session* bound to one checkpoint file (or, for file-per-grid
+formats, one checkpoint's family of files).  Sessions expose the primitive
+operations transports compose -- each primitive reproduces its original
+driver's exact sequence of simulated operations (library CPU costs,
+barriers, file-system requests), which is what keeps the composed
+strategies digest-identical to the monolithic ones they replaced.
+
+``session_kind`` must match the layout planner's ``kind``;
+``collective_metadata`` tells the transport whether per-array metadata
+operations (HDF5 dataset create/open/close) synchronise all ranks, in
+which case every rank must walk every grid's arrays even when it owns no
+data -- the paper's overhead #1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..amr.particles import PARTICLE_ARRAYS, ParticleSet
+from ..hdf4.sd import SDFile
+from ..hdf5.dataspace import Hyperslab
+from ..hdf5.file import H5Costs, H5File
+from ..mpi.datatypes import FLOAT64, Subarray
+from ..mpiio.file import File
+from ..mpiio.hints import Hints
+from ..resilience.manifest import entry_for_bytes, entry_for_segments
+
+__all__ = [
+    "FieldWriteOp",
+    "HDF4SDFormat",
+    "HDF5Format",
+    "RawSharedFormat",
+    "dset_name",
+]
+
+
+@dataclass
+class FieldWriteOp:
+    """A prepared top-grid field write the transport decides how to issue.
+
+    ``collective``/``independent`` are the two issue paths (the transport
+    picks, possibly degrading via the resilience layer); ``segments``
+    yields the (offset, nbytes) byte runs for the manifest entry;
+    ``finish`` runs the format's post-write epilogue (attribute + close
+    for HDF5, nothing for raw).
+    """
+
+    collective: Callable[[], None]
+    independent: Callable[[], None]
+    segments: Callable[[], list]
+    finish: Callable[[], None] = lambda: None
+
+
+def dset_name(grid_key, kind: str, array_name: str) -> str:
+    """HDF5 dataset path; ``kind`` disambiguates field vs particle arrays."""
+    return f"{grid_key}/{kind}/{array_name}"
+
+
+# -- HDF4 SD (file per grid) -------------------------------------------------
+
+
+def write_grid_sd(sd: SDFile, grid, entries: list | None = None) -> int:
+    """Write one grid's arrays (canonical order) into an open SD file.
+
+    Appends a manifest entry per array to ``entries`` when given.
+    """
+    path = sd._adio.path
+    nbytes = 0
+
+    def _put(name: str, arr) -> None:
+        nonlocal nbytes
+        sds = sd.create(name, arr.dtype, arr.shape)
+        sds.write(arr)
+        if entries is not None:
+            entries.append(entry_for_bytes(
+                f"{path}:{name}", path, sds.entry.data_offset, arr
+            ))
+        nbytes += arr.nbytes
+
+    for name, arr in grid.fields.items():
+        _put(name, arr)
+    parts = grid.particles
+    # "particle/" prefix keeps particle velocity_* distinct from the baryon
+    # velocity fields (real ENZO names these particle_velocity_x etc.).
+    for name in PARTICLE_ARRAYS:
+        _put(f"particle/{name}", np.ascontiguousarray(parts.array(name)))
+    return nbytes
+
+
+def read_grid_sd(sd: SDFile, shell) -> None:
+    """Fill a grid shell from an open SD file (canonical order)."""
+    for name in shell.fields:
+        shell.fields[name] = sd.select(name).read()
+    arrays = {
+        name: sd.select(f"particle/{name}").read() for name in PARTICLE_ARRAYS
+    }
+    shell.particles = ParticleSet.from_arrays(arrays)
+
+
+class HDF4SDFormat:
+    """The sequential HDF4 SD object model, one file per grid."""
+
+    name = "hdf4-sd"
+    session_kind = "file-per-grid"
+    takes_hints = False
+
+    def open_write(self, ctx, meta, layout):
+        return _SDSession(ctx)
+
+    def open_read(self, ctx, meta, layout):
+        return _SDSession(ctx)
+
+
+class _SDSession:
+    collective_metadata = False
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+
+    def close(self) -> None:
+        pass  # each grid's file was opened and closed inline
+
+    def write_grid(self, path: str, grid) -> int:
+        sd = SDFile.start(self.ctx.comm, path, "w", retry=self.ctx.strategy.retry)
+        nbytes = write_grid_sd(sd, grid, self.ctx.entries)
+        sd.end()
+        return nbytes
+
+    def read_grid(self, path: str, shell) -> None:
+        sd = SDFile.start(self.ctx.comm, path, "r", retry=self.ctx.strategy.retry)
+        read_grid_sd(sd, shell)
+        sd.end()
+
+
+# -- raw shared file over MPI-IO ---------------------------------------------
+
+
+class RawSharedFormat:
+    """Nothing in the file but data; every offset comes from the layout."""
+
+    name = "raw"
+    session_kind = "shared-file"
+    takes_hints = True
+
+    def __init__(self, hints: Hints | None = None):
+        self.hints = hints or Hints()
+
+    def open_write(self, ctx, meta, layout):
+        return _RawSession(self, ctx, layout, "w")
+
+    def open_read(self, ctx, meta, layout):
+        return _RawSession(self, ctx, layout, "r")
+
+
+class _RawSession:
+    collective_metadata = False
+
+    def __init__(self, fmt: RawSharedFormat, ctx, layout, mode: str):
+        self.ctx = ctx
+        self.layout = layout
+        self.fh = File.open(
+            ctx.comm, ctx.base, mode, hints=fmt.hints, retry=ctx.strategy.retry
+        )
+
+    def close(self) -> None:
+        self.fh.close()
+
+    def reset_view(self) -> None:
+        self.fh.set_view(0)  # back to the plain byte view
+
+    # -- write primitives --------------------------------------------------
+
+    def begin_top_field(self, name, arr, starts, sizes, root_dims) -> FieldWriteOp:
+        from ..enzo.layout import TOP
+
+        ext = self.layout.extent(TOP, name)
+        ftype = Subarray(root_dims, sizes, starts, FLOAT64)
+        fh = self.fh
+        fh.set_view(ext.offset, FLOAT64, ftype)
+        return FieldWriteOp(
+            collective=lambda: fh.write_at_all(0, arr),
+            independent=lambda: fh.write_at(0, arr),
+            segments=lambda: fh.view_segments(0, arr.nbytes),
+        )
+
+    def write_top_particle(self, name, parts, elem_offset, n_total) -> int:
+        from ..enzo.layout import TOP
+
+        ext = self.layout.extent(TOP, name, "particle")
+        arr = np.ascontiguousarray(parts.array(name))
+        offset = ext.offset + elem_offset * ext.dtype.itemsize
+        self.fh.write_at(offset, arr)
+        self.ctx.entries.append(entry_for_bytes(
+            f"top/particle/{name}/r{self.ctx.comm.rank:04d}",
+            self.ctx.base, offset, arr,
+        ))
+        return arr.nbytes
+
+    def write_grid_field(self, gid, g, name, arr) -> int:
+        ext = self.layout.extent(gid, name)
+        self.fh.write_at(ext.offset, arr)
+        self.ctx.entries.append(entry_for_bytes(
+            f"grid{gid}/field/{name}", self.ctx.base, ext.offset, arr
+        ))
+        return arr.nbytes
+
+    def write_grid_particle(self, gid, g, name, gparts) -> int:
+        ext = self.layout.extent(gid, name, "particle")
+        arr = np.ascontiguousarray(gparts.array(name))
+        self.fh.write_at(ext.offset, arr)
+        self.ctx.entries.append(entry_for_bytes(
+            f"grid{gid}/particle/{name}", self.ctx.base, ext.offset, arr
+        ))
+        return arr.nbytes
+
+    # -- read primitives ---------------------------------------------------
+
+    def read_top_field(self, name, starts, sizes, root_dims):
+        from ..enzo.layout import TOP
+
+        ext = self.layout.extent(TOP, name)
+        ftype = Subarray(root_dims, sizes, starts, FLOAT64)
+        self.fh.set_view(ext.offset, FLOAT64, ftype)
+        return self.fh.read_at_all(0, np.empty(sizes, dtype=np.float64))
+
+    def read_top_particle(self, name, lo, hi, n_total):
+        from ..enzo.layout import TOP
+        from ..enzo.meta import array_dtype
+
+        ext = self.layout.extent(TOP, name, "particle")
+        dt = array_dtype(name)
+        raw = self.fh.read_at(
+            ext.offset + lo * dt.itemsize, int((hi - lo) * dt.itemsize)
+        )
+        return np.frombuffer(raw, dtype=dt).copy()
+
+    def read_grid_field(self, gid, g, name, want: bool):
+        ext = self.layout.extent(gid, name)
+        return self.fh.read_at(ext.offset, np.empty(ext.shape, dtype=ext.dtype))
+
+    def read_grid_particle(self, gid, g, name, want: bool):
+        ext = self.layout.extent(gid, name, "particle")
+        raw = self.fh.read_at(ext.offset, ext.nbytes)
+        return np.frombuffer(raw, dtype=ext.dtype).copy()
+
+    def read_initial_field(self, key, g, name, part, active: bool, rank: int):
+        ext = self.layout.extent(key, name)
+        if active:
+            starts, sizes = part.block_of(rank)
+            ftype = Subarray(g.dims, sizes, starts, FLOAT64)
+            self.fh.set_view(ext.offset, FLOAT64, ftype)
+            return self.fh.read_at_all(0, np.empty(sizes, dtype=np.float64))
+        # Inactive ranks still participate in the collective call.
+        self.fh.set_view(ext.offset)
+        self.fh.read_at_all(0, 0)
+        return None
+
+    def read_initial_particle(self, key, g, name, lo, hi):
+        from ..enzo.meta import array_dtype
+
+        ext = self.layout.extent(key, name, "particle")
+        dt = array_dtype(name)
+        raw = self.fh.read_at(
+            ext.offset + lo * dt.itemsize, int((hi - lo) * dt.itemsize)
+        )
+        return np.frombuffer(raw, dtype=dt).copy()
+
+
+# -- HDF5 over the mpio driver -----------------------------------------------
+
+
+class HDF5Format:
+    """HDF5 datasets and hyperslabs, with the 2002 overheads built in.
+
+    ``meta_aggregation`` and a non-zero ``costs.alignment`` are the paper's
+    Section 5 remedies: batch the per-dataset object-header writes into one
+    list-I/O flush at file close, and pad data regions to a file-system
+    friendly boundary.
+    """
+
+    name = "hdf5"
+    session_kind = "shared-file"
+    takes_hints = True
+
+    def __init__(
+        self,
+        hints: Hints | None = None,
+        costs: H5Costs | None = None,
+        meta_aggregation: bool = False,
+    ):
+        self.hints = hints or Hints()
+        self.costs = costs or H5Costs()
+        self.meta_aggregation = meta_aggregation
+
+    def open_write(self, ctx, meta, layout):
+        f = H5File.create(
+            ctx.comm, ctx.base, driver="mpio", hints=self.hints,
+            costs=self.costs, retry=ctx.strategy.retry,
+            meta_aggregation=self.meta_aggregation,
+        )
+        return _H5Session(ctx, f)
+
+    def open_read(self, ctx, meta, layout):
+        f = H5File.open(
+            ctx.comm, ctx.base, driver="mpio", hints=self.hints,
+            costs=self.costs, retry=ctx.strategy.retry,
+        )
+        return _H5Session(ctx, f)
+
+
+class _H5Session:
+    collective_metadata = True
+
+    def __init__(self, ctx, f: H5File):
+        self.ctx = ctx
+        self.f = f
+
+    def close(self) -> None:
+        self.f.close()
+
+    def reset_view(self) -> None:
+        pass  # HDF5 addresses through selections, not file views
+
+    # -- write primitives --------------------------------------------------
+
+    def begin_top_field(self, name, arr, starts, sizes, root_dims) -> FieldWriteOp:
+        d = self.f.create_dataset(
+            dset_name("top", "field", name), root_dims, np.float64
+        )
+        sel = Hyperslab(start=starts, count=sizes)
+
+        def finish():
+            d.write_attr("level", 0)
+            d.close()
+
+        return FieldWriteOp(
+            collective=lambda: d.write(arr, sel, collective=True),
+            independent=lambda: d.write(arr, sel, collective=False),
+            segments=lambda: d.file_segments(sel),
+            finish=finish,
+        )
+
+    def write_top_particle(self, name, parts, elem_offset, n_total) -> int:
+        from ..enzo.meta import array_dtype
+
+        d = self.f.create_dataset(
+            dset_name("top", "particle", name), (max(n_total, 1),),
+            array_dtype(name),
+        )
+        moved = 0
+        if len(parts):
+            arr = np.ascontiguousarray(parts.array(name))
+            sel = Hyperslab(start=(elem_offset,), count=(len(arr),))
+            d.write(arr, sel, collective=False)
+            self.ctx.entries.append(entry_for_segments(
+                f"top/particle/{name}/r{self.ctx.comm.rank:04d}",
+                self.ctx.base, d.file_segments(sel), arr,
+            ))
+            moved = arr.nbytes
+        d.close()
+        return moved
+
+    def write_grid_field(self, gid, g, name, arr) -> int:
+        d = self.f.create_dataset(dset_name(gid, "field", name), g.dims, np.float64)
+        moved = 0
+        if arr is not None:
+            d.write(arr, collective=False)
+            self.ctx.entries.append(entry_for_segments(
+                f"grid{gid}/field/{name}", self.ctx.base, d.file_segments(), arr
+            ))
+            moved = arr.nbytes
+        d.close()
+        return moved
+
+    def write_grid_particle(self, gid, g, name, gparts) -> int:
+        from ..enzo.meta import array_dtype
+
+        d = self.f.create_dataset(
+            dset_name(gid, "particle", name), (max(g.nparticles, 1),),
+            array_dtype(name),
+        )
+        moved = 0
+        if gparts is not None and g.nparticles:
+            arr = np.ascontiguousarray(gparts.array(name))
+            sel = Hyperslab(start=(0,), count=(len(arr),))
+            d.write(arr, sel, collective=False)
+            self.ctx.entries.append(entry_for_segments(
+                f"grid{gid}/particle/{name}", self.ctx.base,
+                d.file_segments(sel), arr,
+            ))
+            moved = arr.nbytes
+        d.close()
+        return moved
+
+    # -- read primitives ---------------------------------------------------
+
+    def read_top_field(self, name, starts, sizes, root_dims):
+        d = self.f.open_dataset(dset_name("top", "field", name))
+        got = d.read(Hyperslab(start=starts, count=sizes), collective=True)
+        d.close()
+        return got
+
+    def read_top_particle(self, name, lo, hi, n_total):
+        from ..enzo.meta import array_dtype
+
+        d = self.f.open_dataset(dset_name("top", "particle", name))
+        if hi > lo:
+            got = d.read(
+                Hyperslab(start=(lo,), count=(hi - lo,)), collective=False
+            )
+        else:
+            got = np.empty(0, dtype=array_dtype(name))
+        d.close()
+        return got
+
+    def read_grid_field(self, gid, g, name, want: bool):
+        # Dataset open/close are collective in parallel HDF5, so every rank
+        # walks every dataset even when only the owner reads data.
+        d = self.f.open_dataset(dset_name(gid, "field", name))
+        got = d.read(collective=False) if want else None
+        d.close()
+        return got
+
+    def read_grid_particle(self, gid, g, name, want: bool):
+        from ..enzo.meta import array_dtype
+
+        d = self.f.open_dataset(dset_name(gid, "particle", name))
+        got = None
+        if want:
+            if g.nparticles:
+                got = d.read(
+                    Hyperslab(start=(0,), count=(g.nparticles,)),
+                    collective=False,
+                )
+            else:
+                got = np.empty(0, dtype=array_dtype(name))
+        d.close()
+        return got
+
+    def read_initial_field(self, key, g, name, part, active: bool, rank: int):
+        d = self.f.open_dataset(dset_name(key, "field", name))
+        if active:
+            starts, sizes = part.block_of(rank)
+            got = d.read(Hyperslab(start=starts, count=sizes), collective=True)
+        else:
+            # Collective read with an empty selection.
+            d.read(
+                Hyperslab(start=(0,) * len(g.dims), count=(0,) * len(g.dims)),
+                collective=True,
+            )
+            got = None
+        d.close()
+        return got
+
+    def read_initial_particle(self, key, g, name, lo, hi):
+        from ..enzo.meta import array_dtype
+
+        d = self.f.open_dataset(dset_name(key, "particle", name))
+        if hi > lo:
+            got = d.read(
+                Hyperslab(start=(lo,), count=(hi - lo,)), collective=False
+            )
+        else:
+            got = np.empty(0, dtype=array_dtype(name))
+        d.close()
+        return got

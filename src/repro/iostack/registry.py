@@ -1,0 +1,211 @@
+"""Strategy registry: declarative (layout x transport x format) compositions.
+
+A checkpoint strategy is no longer a monolithic class but a named triple
+of layer choices plus options, registered here.  The three strategies the
+paper measures are built-in registrations; new hybrids -- like the paper's
+Section 5 "how to fix HDF5" composition shipped as ``hdf5-aligned`` -- are
+one :func:`register` call:
+
+    from repro.iostack import registry
+    registry.register(registry.StrategyComposition(
+        name="hdf5-aligned",
+        layout="shared-file", transport="collective", format="hdf5",
+        options={"meta_aggregation": True, "alignment": 1 << 20},
+        variant_of="hdf5",
+    ))
+
+The CLI, the regression matrix, and the AutoTuner all resolve strategy
+names through this module, so a registration is immediately usable by
+``repro simulate --strategy``, ``repro regress --cell`` and ``repro tune``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .formats import HDF4SDFormat, HDF5Format, RawSharedFormat
+from .layouts import FilePerGridLayoutPlanner, SharedFileLayoutPlanner
+from .transports import CollectiveTransport, FunnelTransport, IndependentTransport
+
+__all__ = [
+    "FORMATS",
+    "LAYOUTS",
+    "TRANSPORTS",
+    "StrategyComposition",
+    "compositions",
+    "create",
+    "get",
+    "names",
+    "register",
+    "unregister",
+    "upgrades",
+]
+
+#: layer name -> implementation class
+LAYOUTS = {
+    "shared-file": SharedFileLayoutPlanner,
+    "file-per-grid": FilePerGridLayoutPlanner,
+}
+TRANSPORTS = {
+    "funnel": FunnelTransport,
+    "collective": CollectiveTransport,
+    "independent": IndependentTransport,
+}
+FORMATS = {
+    "hdf4-sd": HDF4SDFormat,
+    "raw": RawSharedFormat,
+    "hdf5": HDF5Format,
+}
+
+
+@dataclass(frozen=True)
+class StrategyComposition:
+    """A named, declarative composition of the three layers.
+
+    ``options`` parameterise the layers (``read_mode`` for the funnel
+    transport; ``meta_aggregation`` and ``alignment`` for the HDF5 format).
+    ``upgrades_to`` feeds the AutoTuner's strategy-upgrade recommendation;
+    ``variant_of`` marks this composition as a tuning variant of another
+    strategy so the tuner explores it after trying the original.
+    """
+
+    name: str
+    layout: str
+    transport: str
+    format: str
+    description: str = ""
+    options: Mapping = field(default_factory=dict)
+    upgrades_to: Optional[str] = None
+    variant_of: Optional[str] = None
+
+    @property
+    def takes_hints(self) -> bool:
+        """Whether the composed strategy accepts MPI-IO hints."""
+        return FORMATS[self.format].takes_hints
+
+
+_REGISTRY: dict[str, StrategyComposition] = {}
+
+
+def register(comp: StrategyComposition) -> StrategyComposition:
+    """Add a composition; raises on duplicate names or incompatible layers."""
+    if comp.name in _REGISTRY:
+        raise ValueError(f"strategy {comp.name!r} is already registered")
+    try:
+        layout_cls = LAYOUTS[comp.layout]
+        transport_cls = TRANSPORTS[comp.transport]
+        format_cls = FORMATS[comp.format]
+    except KeyError as err:
+        raise ValueError(
+            f"strategy {comp.name!r} references unknown layer {err.args[0]!r}"
+        ) from None
+    if transport_cls.requires != layout_cls.kind:
+        raise ValueError(
+            f"strategy {comp.name!r}: transport {comp.transport!r} requires a "
+            f"{transport_cls.requires!r} layout, got {layout_cls.kind!r}"
+        )
+    if format_cls.session_kind != layout_cls.kind:
+        raise ValueError(
+            f"strategy {comp.name!r}: format {comp.format!r} addresses a "
+            f"{format_cls.session_kind!r} layout, got {layout_cls.kind!r}"
+        )
+    _REGISTRY[comp.name] = comp
+    return comp
+
+
+def unregister(name: str) -> None:
+    """Remove a composition (plugin teardown / tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def names() -> tuple[str, ...]:
+    """All registered strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get(name: str) -> StrategyComposition:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r} (available: {', '.join(names())})"
+        ) from None
+
+
+def compositions() -> tuple[StrategyComposition, ...]:
+    return tuple(_REGISTRY[n] for n in sorted(_REGISTRY))
+
+
+def upgrades() -> dict[str, str]:
+    """strategy name -> the registered strategy it upgrades to."""
+    return {c.name: c.upgrades_to for c in compositions() if c.upgrades_to}
+
+
+def create(name: str, *, hints=None, retry=None, read_mode: str | None = None):
+    """Instantiate a registered composition as a runnable strategy.
+
+    ``hints`` apply when the format takes MPI-IO hints (they are ignored
+    by ``hdf4``, matching the original driver's signature); ``read_mode``
+    overrides the funnel transport's restart-read path.
+    """
+    from ..enzo.io_base import ComposedStrategy
+    from ..hdf5.file import H5Costs
+    from ..mpiio.hints import Hints
+
+    comp = get(name)
+    opts = comp.options
+    layout = LAYOUTS[comp.layout]()
+    if comp.transport == "funnel":
+        transport = FunnelTransport(
+            read_mode=read_mode or opts.get("read_mode", "master")
+        )
+    else:
+        transport = TRANSPORTS[comp.transport]()
+    if comp.format == "hdf4-sd":
+        fmt = HDF4SDFormat()
+    elif comp.format == "raw":
+        fmt = RawSharedFormat(hints or Hints())
+    else:
+        alignment = int(opts.get("alignment", 0))
+        fmt = HDF5Format(
+            hints or Hints(),
+            costs=H5Costs(
+                alignment=alignment,
+                # H5Pset_alignment semantics: only objects at least one
+                # boundary in size are moved to a boundary.
+                alignment_threshold=int(
+                    opts.get("alignment_threshold", alignment)
+                ),
+            ),
+            meta_aggregation=bool(opts.get("meta_aggregation", False)),
+        )
+    return ComposedStrategy(comp.name, layout, transport, fmt, retry=retry)
+
+
+# -- built-in compositions (the paper's three strategies + the Section 5 fix)
+
+register(StrategyComposition(
+    name="hdf4",
+    layout="file-per-grid", transport="funnel", format="hdf4-sd",
+    description="original ENZO: sequential HDF4 through rank 0, file per grid",
+    upgrades_to="mpi-io",
+))
+register(StrategyComposition(
+    name="mpi-io",
+    layout="shared-file", transport="collective", format="raw",
+    description="paper's optimisation: collective two-phase MPI-IO, one shared file",
+))
+register(StrategyComposition(
+    name="hdf5",
+    layout="shared-file", transport="collective", format="hdf5",
+    description="parallel HDF5 (mpio driver) with 2002-era per-dataset overheads",
+    upgrades_to="mpi-io",
+))
+register(StrategyComposition(
+    name="hdf5-aligned",
+    layout="shared-file", transport="collective", format="hdf5",
+    description="HDF5 with metadata aggregation + aligned data (paper Section 5 remedy)",
+    options={"meta_aggregation": True, "alignment": 1 << 20},
+    variant_of="hdf5",
+))

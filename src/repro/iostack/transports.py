@@ -1,0 +1,485 @@
+"""Transports: which ranks move which bytes, and how they coordinate.
+
+The paper's middle layer.  Three movement disciplines:
+
+* :class:`FunnelTransport` -- the original ENZO path: everything funnels
+  through processor 0 for the top grid (gather + combine on write, read +
+  scatter on restart); subgrid files go to their owners (Section 2.2);
+* :class:`CollectiveTransport` -- the optimised path: collective two-phase
+  access for the regular baryon fields, parallel sample sort + independent
+  block-wise access for the irregular particle arrays, owner-writes for
+  subgrids (Sections 3.2/3.3);
+* :class:`IndependentTransport` -- the collective plan issued through
+  independent requests only (the paper's Figure 5 comparison point).
+
+A transport drives a format *session* (see :mod:`repro.iostack.formats`)
+and never touches the file directly; ``requires`` names the layout kind it
+can address.  Phase timings land in the executor's
+:class:`~repro.enzo.io_base.IOStats` through ``ctx.timed`` with the same
+phase names the monolithic strategies reported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..amr.grid import Grid
+from ..amr.particles import PARTICLE_ARRAYS, ParticleSet
+from ..amr.partition import BlockPartition
+from ..mpi import collectives as coll
+from ..resilience.manifest import entry_for_segments
+from .layouts import particle_block_range
+
+__all__ = [
+    "CollectiveTransport",
+    "FunnelTransport",
+    "IndependentTransport",
+    "field_names",
+    "make_piece_shell",
+    "make_top_piece_shell",
+    "redistribute_grid_particles",
+    "redistribute_particles",
+]
+
+
+# -- shared shell / redistribution helpers -----------------------------------
+
+
+def field_names():
+    """Canonical baryon field order (every strategy writes these)."""
+    from ..amr.fields import BARYON_FIELDS
+
+    return BARYON_FIELDS
+
+
+def make_top_piece_shell(meta, partition: BlockPartition, rank: int) -> Grid:
+    """An empty top-grid piece with rank ``rank``'s block geometry."""
+    from ..enzo.io_base import IOStrategy
+
+    root = IOStrategy.make_root_shell(meta)
+    _starts, sizes = partition.block_of(rank)
+    left, right = partition.edges_of(rank, root)
+    return Grid(
+        id=root.id, level=0, dims=sizes, left_edge=left, right_edge=right
+    )
+
+
+def redistribute_particles(
+    comm, block: ParticleSet, meta, partition: BlockPartition
+) -> ParticleSet:
+    """Send each particle to the rank whose sub-domain contains it."""
+    from ..enzo.io_base import IOStrategy
+
+    root = IOStrategy.make_root_shell(meta)
+    if len(block):
+        cells = root.cell_of(block.positions)
+        owners = partition.owner_of_cells(cells)
+    else:
+        owners = np.empty(0, dtype=np.int64)
+    outgoing = [block.select(owners == r) for r in range(comm.size)]
+    incoming = coll.alltoall(comm, outgoing)
+    return ParticleSet.concat(incoming).sort_by_id()
+
+
+def make_piece_shell(meta, gid, part: BlockPartition, rank: int) -> Grid:
+    """An empty piece of grid ``gid`` with rank ``rank``'s block geometry."""
+    g = meta[gid]
+    shell = Grid(
+        id=g.id, level=g.level, dims=g.dims,
+        left_edge=np.array(g.left_edge),
+        right_edge=np.array(g.right_edge),
+        parent_id=g.parent_id,
+    )
+    _starts, sizes = part.block_of(rank)
+    left, right = part.edges_of(rank, shell)
+    return Grid(
+        id=g.id, level=g.level, dims=sizes,
+        left_edge=left, right_edge=right, parent_id=g.parent_id,
+    )
+
+
+def redistribute_grid_particles(
+    comm, block: ParticleSet, meta, gid, part: BlockPartition
+) -> ParticleSet:
+    """Route particles to the rank whose sub-block of grid ``gid``
+    contains them."""
+    g = meta[gid]
+    shell = Grid(
+        id=g.id, level=g.level, dims=g.dims,
+        left_edge=np.array(g.left_edge),
+        right_edge=np.array(g.right_edge),
+        parent_id=g.parent_id,
+    )
+    if len(block):
+        cells = shell.cell_of(block.positions)
+        owners = part.owner_of_cells(cells)
+    else:
+        owners = np.empty(0, dtype=np.int64)
+    outgoing = [
+        block.select(owners == r) if r < part.nprocs else None
+        for r in range(comm.size)
+    ]
+    incoming = coll.alltoall(comm, outgoing)
+    return ParticleSet.concat(
+        [p for p in incoming if p is not None]
+    ).sort_by_id()
+
+
+# -- rank-0 funnel (the original sequential path) ----------------------------
+
+
+class FunnelTransport:
+    """Everything through processor 0; per-grid files to their owners.
+
+    ``read_mode`` selects the original code's two restart-read paths:
+    ``"master"`` (P0 reads every subgrid and sends it to its owner) or
+    ``"round_robin"`` (every processor reads its own files).
+    """
+
+    name = "funnel"
+    requires = "file-per-grid"
+
+    def __init__(self, read_mode: str = "master"):
+        if read_mode not in ("master", "round_robin"):
+            raise ValueError(f"unknown read_mode {read_mode!r}")
+        self.read_mode = read_mode
+
+    def write(self, ctx, session, layout, state) -> None:
+        from ..enzo.io_base import IOStrategy
+
+        comm = ctx.comm
+        # Phase 1: gather the top-grid pieces to processor 0 and combine.
+        with ctx.timed("top_gather"):
+            pieces = coll.gather(comm, state.top_piece, root=0)
+            if comm.rank == 0:
+                template = IOStrategy.make_root_shell(state.meta)
+                combined = state.partition.reassemble(template, pieces)
+                comm.compute(comm.machine.memcpy_time(combined.data_nbytes))
+
+        # Phase 2: processor 0 writes the combined top grid, sequentially.
+        with ctx.timed("top_write"):
+            if comm.rank == 0:
+                ctx.stats.bytes_moved += session.write_grid(
+                    layout.top_grid_path(ctx.base), combined
+                )
+
+        # Phase 3: subgrids -- each owner writes its own per-grid files.
+        with ctx.timed("subgrids"):
+            for gid in sorted(state.subgrids):
+                ctx.stats.bytes_moved += session.write_grid(
+                    layout.subgrid_path(ctx.base, gid), state.subgrids[gid]
+                )
+            coll.barrier(comm)
+
+    def read(self, ctx, session, layout, meta):
+        from ..enzo.io_base import IOStrategy
+        from ..enzo.state import RankState, make_owner_map
+
+        comm = ctx.comm
+        partition = BlockPartition(meta.root.dims, comm.size)
+
+        # Phase 1+2: processor 0 reads the whole top grid, partitions it
+        # and scatters the pieces.
+        with ctx.timed("top_read_scatter"):
+            if comm.rank == 0:
+                shell = IOStrategy.make_root_shell(meta)
+                session.read_grid(layout.top_grid_path(ctx.base), shell)
+                ctx.stats.bytes_moved += shell.data_nbytes
+                pieces = [partition.extract(shell, r) for r in range(comm.size)]
+                comm.compute(comm.machine.memcpy_time(shell.data_nbytes))
+            else:
+                pieces = None
+            top_piece = coll.scatter(comm, pieces, root=0)
+
+        # Phase 3: subgrids.
+        with ctx.timed("subgrids"):
+            owner = make_owner_map(meta, comm.size, policy="round_robin")
+            subgrids: dict[int, Grid] = {}
+            if self.read_mode == "master":
+                # New-simulation path: P0 reads every subgrid file
+                # sequentially and sends each to its assigned processor.
+                for gid in meta.subgrid_ids():
+                    shell = None
+                    if comm.rank == 0:
+                        shell = IOStrategy.make_subgrid_shell(meta, gid)
+                        session.read_grid(
+                            layout.subgrid_path(ctx.base, gid), shell
+                        )
+                        ctx.stats.bytes_moved += shell.data_nbytes
+                    dest = owner[gid]
+                    if dest == 0:
+                        if comm.rank == 0:
+                            subgrids[gid] = shell
+                    elif comm.rank == 0:
+                        comm.send(shell, dest, tag=17)
+                    elif comm.rank == dest:
+                        subgrids[gid] = comm.recv(0, tag=17)
+                coll.barrier(comm)
+            else:
+                # Restart path: every processor reads its files round-robin.
+                for gid in meta.subgrid_ids():
+                    if owner[gid] != comm.rank:
+                        continue
+                    shell = IOStrategy.make_subgrid_shell(meta, gid)
+                    session.read_grid(layout.subgrid_path(ctx.base, gid), shell)
+                    ctx.stats.bytes_moved += shell.data_nbytes
+                    subgrids[gid] = shell
+                coll.barrier(comm)
+
+        return RankState(
+            rank=comm.rank,
+            nprocs=comm.size,
+            meta=meta,
+            partition=partition,
+            top_piece=top_piece,
+            subgrids=subgrids,
+            owner=owner,
+        )
+
+    def read_initial(self, ctx, session, layout, meta):
+        """Original new-simulation read: P0 reads every grid sequentially,
+        partitions it (Block, Block, Block) and distributes the pieces."""
+        from ..enzo.io_base import IOStrategy
+        from ..enzo.state import PartitionedState
+
+        comm = ctx.comm
+        state = PartitionedState(rank=comm.rank, nprocs=comm.size, meta=meta)
+        for g in meta.grids():
+            gid = g.id
+            part = BlockPartition.for_grid(g.dims, comm.size)
+            state.partitions[gid] = part
+            pieces = None
+            if comm.rank == 0:
+                if gid == meta.root_id:
+                    shell = IOStrategy.make_root_shell(meta)
+                    path = layout.top_grid_path(ctx.base)
+                else:
+                    shell = IOStrategy.make_subgrid_shell(meta, gid)
+                    path = layout.subgrid_path(ctx.base, gid)
+                session.read_grid(path, shell)
+                ctx.stats.bytes_moved += shell.data_nbytes
+                comm.compute(comm.machine.memcpy_time(shell.data_nbytes))
+                pieces = [part.extract(shell, r) for r in range(part.nprocs)]
+                pieces += [None] * (comm.size - part.nprocs)
+            state.pieces[gid] = coll.scatter(comm, pieces, root=0)
+        return state
+
+
+# -- collective two-phase / independent block-wise ---------------------------
+
+
+class CollectiveTransport:
+    """The paper's optimised movement plan over one shared file."""
+
+    name = "collective"
+    requires = "shared-file"
+    #: issue top-grid field writes collectively (two-phase); the
+    #: :class:`IndependentTransport` subclass turns this off.
+    collective_fields = True
+
+    def write(self, ctx, session, layout, state) -> None:
+        from ..enzo.sort import parallel_sort_by_id
+
+        comm = ctx.comm
+        # Phase 1: top-grid baryon fields through subarray/hyperslab views.
+        with ctx.timed("top_fields"):
+            starts, sizes = state.partition.block_of(comm.rank)
+            root_dims = state.meta.root.dims
+            for name, arr in state.top_piece.fields.items():
+                op = session.begin_top_field(name, arr, starts, sizes, root_dims)
+                if self.collective_fields:
+                    ctx.strategy._collective_or_degraded(
+                        comm, ctx.base, op.collective, op.independent,
+                        nbytes=arr.nbytes,
+                    )
+                else:
+                    op.independent()
+                ctx.entries.append(entry_for_segments(
+                    f"top/field/{name}/r{comm.rank:04d}", ctx.base,
+                    op.segments(), arr,
+                ))
+                op.finish()
+                ctx.stats.bytes_moved += arr.nbytes
+
+        # Phase 2: top-grid particles -- parallel sort + block-wise writes.
+        with ctx.timed("top_particles"):
+            session.reset_view()
+            sorted_parts, elem_offset, _counts = parallel_sort_by_id(
+                comm, state.top_piece.particles
+            )
+            n_total = state.meta.root.nparticles
+            for name in PARTICLE_ARRAYS:
+                ctx.stats.bytes_moved += session.write_top_particle(
+                    name, sorted_parts, elem_offset, n_total
+                )
+
+        # Phase 3: subgrids.  When the format's per-array metadata is
+        # collective (HDF5 dataset creates), every rank walks every grid;
+        # otherwise each owner writes its grids independently.
+        with ctx.timed("subgrids"):
+            if session.collective_metadata:
+                meta = state.meta
+                names = list(state.top_piece.fields.names)
+                for gid in meta.subgrid_ids():
+                    g = meta[gid]
+                    mine = state.subgrids.get(gid)
+                    for name in names:
+                        arr = mine.fields[name] if mine is not None else None
+                        ctx.stats.bytes_moved += session.write_grid_field(
+                            gid, g, name, arr
+                        )
+                    gparts = (
+                        mine.particles.sort_by_id() if mine is not None else None
+                    )
+                    for name in PARTICLE_ARRAYS:
+                        ctx.stats.bytes_moved += session.write_grid_particle(
+                            gid, g, name, gparts
+                        )
+            else:
+                for gid in sorted(state.subgrids):
+                    grid = state.subgrids[gid]
+                    g = state.meta[gid]
+                    for name, arr in grid.fields.items():
+                        ctx.stats.bytes_moved += session.write_grid_field(
+                            gid, g, name, arr
+                        )
+                    gparts = grid.particles.sort_by_id()
+                    for name in PARTICLE_ARRAYS:
+                        ctx.stats.bytes_moved += session.write_grid_particle(
+                            gid, g, name, gparts
+                        )
+
+    def read(self, ctx, session, layout, meta):
+        from ..enzo.io_base import IOStrategy
+        from ..enzo.state import RankState, make_owner_map
+
+        comm = ctx.comm
+        partition = BlockPartition(meta.root.dims, comm.size)
+
+        # Phase 1: top-grid fields, collective subarray/hyperslab reads.
+        with ctx.timed("top_fields"):
+            starts, sizes = partition.block_of(comm.rank)
+            top_piece = make_top_piece_shell(meta, partition, comm.rank)
+            for name in top_piece.fields:
+                got = session.read_top_field(name, starts, sizes, meta.root.dims)
+                top_piece.fields[name] = got
+                ctx.stats.bytes_moved += got.nbytes
+
+        # Phase 2: particles -- block-wise contiguous reads, then
+        # redistribution by position against the grid edges.
+        with ctx.timed("top_particles"):
+            session.reset_view()
+            n_total = meta.root.nparticles
+            lo, hi = particle_block_range(n_total, comm.rank, comm.size)
+            arrays = {}
+            for name in PARTICLE_ARRAYS:
+                got = session.read_top_particle(name, lo, hi, n_total)
+                arrays[name] = got
+                ctx.stats.bytes_moved += got.nbytes
+            block = ParticleSet.from_arrays(arrays)
+            top_piece.particles = redistribute_particles(
+                comm, block, meta, partition
+            )
+
+        # Phase 3: subgrids, round-robin owners read whole arrays.
+        with ctx.timed("subgrids"):
+            owner = make_owner_map(meta, comm.size, policy="round_robin")
+            subgrids: dict[int, Grid] = {}
+            if session.collective_metadata:
+                names = list(top_piece.fields.names)
+                for gid in meta.subgrid_ids():
+                    g = meta[gid]
+                    mine = owner[gid] == comm.rank
+                    shell = (
+                        IOStrategy.make_subgrid_shell(meta, gid) if mine else None
+                    )
+                    for name in names:
+                        got = session.read_grid_field(gid, g, name, mine)
+                        if mine:
+                            shell.fields[name] = got
+                            ctx.stats.bytes_moved += got.nbytes
+                    parrays = {}
+                    for name in PARTICLE_ARRAYS:
+                        got = session.read_grid_particle(gid, g, name, mine)
+                        if mine:
+                            parrays[name] = got
+                            ctx.stats.bytes_moved += got.nbytes
+                    if mine:
+                        shell.particles = ParticleSet.from_arrays(parrays)
+                        subgrids[gid] = shell
+            else:
+                for gid in meta.subgrid_ids():
+                    if owner[gid] != comm.rank:
+                        continue
+                    g = meta[gid]
+                    grid = IOStrategy.make_subgrid_shell(meta, gid)
+                    for name in grid.fields:
+                        got = session.read_grid_field(gid, g, name, True)
+                        grid.fields[name] = got
+                        ctx.stats.bytes_moved += got.nbytes
+                    parrays = {}
+                    for name in PARTICLE_ARRAYS:
+                        got = session.read_grid_particle(gid, g, name, True)
+                        parrays[name] = got
+                        ctx.stats.bytes_moved += got.nbytes
+                    grid.particles = ParticleSet.from_arrays(parrays)
+                    subgrids[gid] = grid
+
+        return RankState(
+            rank=comm.rank,
+            nprocs=comm.size,
+            meta=meta,
+            partition=partition,
+            top_piece=top_piece,
+            subgrids=subgrids,
+            owner=owner,
+        )
+
+    def read_initial(self, ctx, session, layout, meta):
+        """Parallel new-simulation read: every grid read collectively."""
+        from ..enzo.layout import TOP
+        from ..enzo.state import PartitionedState
+
+        comm = ctx.comm
+        state = PartitionedState(rank=comm.rank, nprocs=comm.size, meta=meta)
+        names = list(field_names())
+        for g in meta.grids():
+            gid = g.id
+            key = TOP if gid == meta.root_id else gid
+            part = BlockPartition.for_grid(g.dims, comm.size)
+            state.partitions[gid] = part
+            active = comm.rank < part.nprocs
+            piece = make_piece_shell(meta, gid, part, comm.rank) if active else None
+            # Baryon fields: collective reads (all ranks call).
+            for name in names:
+                got = session.read_initial_field(key, g, name, part, active, comm.rank)
+                if active:
+                    piece.fields[name] = got
+                    ctx.stats.bytes_moved += got.nbytes
+            session.reset_view()
+            # Particle arrays: block-wise reads + redistribution by position.
+            n_total = g.nparticles
+            if comm.rank < part.nprocs:
+                lo, hi = particle_block_range(n_total, comm.rank, part.nprocs)
+            else:
+                lo = hi = 0
+            arrays = {}
+            for name in PARTICLE_ARRAYS:
+                got = session.read_initial_particle(key, g, name, lo, hi)
+                arrays[name] = got
+                ctx.stats.bytes_moved += got.nbytes
+            block = ParticleSet.from_arrays(arrays)
+            mine = redistribute_grid_particles(comm, block, meta, gid, part)
+            if piece is not None:
+                piece.particles = mine
+                state.pieces[gid] = piece
+            else:
+                state.pieces[gid] = None
+        return state
+
+
+class IndependentTransport(CollectiveTransport):
+    """The collective plan issued as independent requests (Figure 5)."""
+
+    name = "independent"
+    collective_fields = False

@@ -1,0 +1,198 @@
+"""Layered I/O stack: registry contract and composed-strategy equivalence.
+
+Three properties pin the refactor down:
+
+* the registry rejects bad registrations (duplicate names, incompatible
+  layer combinations) and resolves good ones everywhere strategies are
+  named (CLI included);
+* a registered composition is a complete strategy -- ``hdf5-aligned``
+  checkpoints written at one width restart at another;
+* composing the built-in strategies through :func:`repro.iostack.registry.create`
+  is *indistinguishable* from the legacy strategy classes: byte-identical
+  checkpoint files and identical golden-trace digests.
+"""
+
+import pytest
+
+from repro.amr import make_initial_conditions
+from repro.core import trace_filesystem
+from repro.enzo import (
+    HDF4Strategy,
+    HDF5Strategy,
+    MPIIOStrategy,
+    RankState,
+    hierarchies_equivalent,
+)
+from repro.iostack import registry
+from repro.mpi import run_spmd
+
+from .conftest import make_machine
+
+LEGACY = {
+    "hdf4": HDF4Strategy,
+    "mpi-io": MPIIOStrategy,
+    "hdf5": HDF5Strategy,
+}
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return make_initial_conditions(
+        (16, 16, 16), seed=11, pre_refine=1, particles_per_cell=0.5
+    )
+
+
+def dump(machine, hierarchy, strategy, base="ckpt"):
+    def program(comm):
+        state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+        return strategy.write_checkpoint(comm, state, base)
+
+    return run_spmd(machine, program, nprocs=machine.nprocs)
+
+
+def restart(machine, strategy, base="ckpt"):
+    def program(comm):
+        state, _stats = strategy.read_checkpoint(comm, base)
+        return state
+
+    res = run_spmd(machine, program, nprocs=machine.nprocs)
+    return RankState.collect(res.results)
+
+
+def stored_bytes(fs):
+    """Every stored file's full contents, keyed by path."""
+    return {
+        path: fs.store.open(path).read(0, fs.store.open(path).size)
+        for path in fs.store.listdir()
+    }
+
+
+# -- registry contract -------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(registry.names()) >= {"hdf4", "mpi-io", "hdf5", "hdf5-aligned"}
+
+    def test_duplicate_name_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(
+                registry.StrategyComposition(
+                    name="hdf4",
+                    layout="file-per-grid",
+                    transport="funnel",
+                    format="hdf4-sd",
+                )
+            )
+
+    def test_incompatible_layers_raise(self):
+        with pytest.raises(ValueError, match="requires"):
+            registry.register(
+                registry.StrategyComposition(
+                    name="bogus-funnel",
+                    layout="shared-file",
+                    transport="funnel",
+                    format="raw",
+                )
+            )
+        with pytest.raises(ValueError, match="unknown layer"):
+            registry.register(
+                registry.StrategyComposition(
+                    name="bogus-layer",
+                    layout="shared-file",
+                    transport="collective",
+                    format="netcdf",
+                )
+            )
+        assert "bogus-funnel" not in registry.names()
+        assert "bogus-layer" not in registry.names()
+
+    def test_register_then_unregister(self):
+        comp = registry.StrategyComposition(
+            name="hdf5-test-variant",
+            layout="shared-file",
+            transport="collective",
+            format="hdf5",
+            options={"meta_aggregation": True},
+            variant_of="hdf5",
+        )
+        registry.register(comp)
+        try:
+            assert "hdf5-test-variant" in registry.names()
+            strategy = registry.create("hdf5-test-variant")
+            assert strategy.name == "hdf5-test-variant"
+            assert strategy.format.meta_aggregation
+        finally:
+            registry.unregister("hdf5-test-variant")
+        assert "hdf5-test-variant" not in registry.names()
+
+    def test_unknown_strategy_raises_with_available(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            registry.get("netcdf")
+        with pytest.raises(ValueError, match="available"):
+            registry.create("netcdf")
+
+    def test_upgrades_derived_from_registrations(self):
+        ups = registry.upgrades()
+        assert ups["hdf4"] == "mpi-io"
+        assert ups["hdf5"] == "mpi-io"
+        assert "mpi-io" not in ups
+
+    def test_cli_rejects_unknown_strategy(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", "--strategy", "netcdf"])
+        assert exc.value.code == 2
+
+
+# -- composed strategies are complete strategies -----------------------------
+
+
+class TestComposedRoundTrip:
+    def test_hdf5_aligned_restarts_at_different_width(self, hierarchy):
+        """hdf5-aligned dump at P=4 restarts bit-equivalent at P'=2."""
+        m = make_machine(4)
+        dump(m, hierarchy, registry.create("hdf5-aligned"))
+        rm = make_machine(2, fs=m.fs)
+        rebuilt = restart(rm, registry.create("hdf5-aligned"))
+        assert hierarchies_equivalent(rebuilt, hierarchy)
+
+    def test_hdf5_aligned_aggregates_metadata(self, hierarchy):
+        """The aggregated dump issues strictly fewer fs write requests."""
+        plain, aligned = make_machine(4), make_machine(4)
+        dump(plain, hierarchy, registry.create("hdf5"))
+        dump(aligned, hierarchy, registry.create("hdf5-aligned"))
+        assert (
+            aligned.fs.counters.writes < plain.fs.counters.writes
+        )
+
+
+# -- legacy classes vs registry compositions ---------------------------------
+
+
+class TestLegacyComposedEquivalence:
+    @pytest.mark.parametrize("name", sorted(LEGACY))
+    def test_checkpoints_byte_and_digest_identical(self, hierarchy, name):
+        legacy_machine = make_machine(4)
+        legacy_trace = trace_filesystem(legacy_machine.fs, include_meta=True)
+        dump(legacy_machine, hierarchy, LEGACY[name]())
+
+        composed_machine = make_machine(4)
+        composed_trace = trace_filesystem(
+            composed_machine.fs, include_meta=True
+        )
+        dump(composed_machine, hierarchy, registry.create(name))
+
+        assert stored_bytes(legacy_machine.fs) == stored_bytes(
+            composed_machine.fs
+        )
+        assert legacy_trace.digest() == composed_trace.digest()
+
+    @pytest.mark.parametrize("name", sorted(LEGACY))
+    def test_legacy_read_of_composed_dump(self, hierarchy, name):
+        """Cross-compatibility: composed write, legacy class restart."""
+        m = make_machine(4)
+        dump(m, hierarchy, registry.create(name))
+        rebuilt = restart(m, LEGACY[name]())
+        assert hierarchies_equivalent(rebuilt, hierarchy)
