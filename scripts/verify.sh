@@ -24,13 +24,16 @@ if command -v ruff >/dev/null 2>&1; then
         tests/test_resilience_faults.py tests/test_resilience_manifest.py \
         tests/test_resilience_roundtrip.py tests/test_crash_consistency.py \
         tests/test_cli_errors.py tests/test_insights_resilience.py \
-        tests/test_iostack.py
+        tests/test_iostack.py tests/test_aio.py
 else
     echo "ruff not installed; lint gate skipped"
 fi
 
 echo "== paper-figure regression gate (Figures 5-10 vs BENCH_figures.json) =="
 python -m repro regress --quiet --out BENCH_figures.current.json
+
+echo "== compute/checkpoint overlap bench (BENCH_overlap.json) =="
+python -m repro overlap --out BENCH_overlap.json
 
 echo "== crash-consistency acceptance scenario =="
 python -m repro simulate --problem AMR16 --procs 4 --cycles 1 \

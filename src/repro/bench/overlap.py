@@ -1,0 +1,168 @@
+"""The compute/checkpoint-overlap bench behind ``repro overlap``.
+
+Runs the same Enzo workload twice per machine -- a synchronous strategy
+dumping inline, then its async counterpart with double-buffered
+write-behind -- and reports the makespan speedup plus the effective
+bandwidth each variant observed.  The committed artifact is
+``BENCH_overlap.json``; the bench fails (exit 1 through the CLI) if any
+pair's speedup is not strictly above 1.0, so "async stopped helping" is
+a gated regression just like a paper-trend inversion.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..topology.presets import PRESETS
+from .runners import OverlapResult, run_overlap_experiment
+
+__all__ = [
+    "OVERLAP_PATH",
+    "OVERLAP_SCHEMA",
+    "DEFAULT_PAIRS",
+    "OverlapComparison",
+    "run_overlap_bench",
+    "check_trends",
+    "save_overlap",
+]
+
+OVERLAP_PATH = "BENCH_overlap.json"
+OVERLAP_SCHEMA = 1
+
+#: (machine preset, sync strategy, async strategy, problem) -- one row per
+#: machine the paper measures, the Figure-6 Origin2000 workload first.
+DEFAULT_PAIRS = (
+    ("origin2000", "mpi-io", "mpi-io-async", "AMR32"),
+    ("chiba_city", "mpi-io", "mpi-io-async", "AMR32"),
+    ("chiba_city_local", "mpi-io", "mpi-io-async", "AMR64"),
+)
+
+
+@dataclass
+class OverlapComparison:
+    """Sync-vs-async outcome for one machine/workload."""
+
+    machine: str
+    problem: str
+    nprocs: int
+    ncycles: int
+    sync: OverlapResult
+    async_: OverlapResult
+
+    @property
+    def speedup(self) -> float:
+        """Makespan ratio (sync / async); > 1.0 means overlap won."""
+        if self.async_.makespan <= 0:
+            return 0.0
+        return self.sync.makespan / self.async_.makespan
+
+    @property
+    def bw_speedup(self) -> float:
+        """Effective-bandwidth ratio (async / sync)."""
+        sync_bw = self.sync.effective_write_bw
+        if sync_bw <= 0:
+            return 0.0
+        return self.async_.effective_write_bw / sync_bw
+
+    def to_dict(self) -> dict:
+        def side(r: OverlapResult) -> dict:
+            return {
+                "strategy": r.strategy,
+                "overlap": r.overlap,
+                "dumps": r.dumps,
+                "makespan_s": round(r.makespan, 9),
+                "exposed_write_s": round(r.write_time, 9),
+                "bytes_written": r.bytes_written,
+                "effective_write_bw_mb_s": round(r.effective_write_bw, 6),
+            }
+
+        return {
+            "machine": self.machine,
+            "problem": self.problem,
+            "nprocs": self.nprocs,
+            "ncycles": self.ncycles,
+            "sync": side(self.sync),
+            "async": side(self.async_),
+            "speedup": round(self.speedup, 6),
+            "bw_speedup": round(self.bw_speedup, 6),
+        }
+
+
+def run_overlap_bench(
+    pairs=DEFAULT_PAIRS,
+    *,
+    nprocs: int = 8,
+    ncycles: int = 3,
+    progress=None,
+) -> list[OverlapComparison]:
+    """Run every (machine, sync, async, problem) pair and compare."""
+    from ..enzo.simulation import EnzoConfig
+    from ..iostack import registry
+
+    out = []
+    for machine_name, sync_name, async_name, problem in pairs:
+        if progress:
+            progress(
+                f"{machine_name}/{problem} P={nprocs}: "
+                f"{sync_name} vs {async_name}"
+            )
+        runs = {}
+        for name, overlap in ((sync_name, False), (async_name, True)):
+            machine = PRESETS[machine_name](nprocs=nprocs)
+            config = EnzoConfig(
+                problem=problem, ncycles=ncycles, dump_every=1,
+                overlap=overlap,
+            )
+            runs[name] = run_overlap_experiment(
+                machine, registry.create(name), config, nprocs=nprocs
+            )
+        out.append(
+            OverlapComparison(
+                machine=machine_name,
+                problem=problem,
+                nprocs=nprocs,
+                ncycles=ncycles,
+                sync=runs[sync_name],
+                async_=runs[async_name],
+            )
+        )
+    return out
+
+
+def check_trends(comparisons: list[OverlapComparison]) -> list[str]:
+    """Paper-trend assertions over a finished bench; returns violations.
+
+    Beyond the per-pair ``speedup > 1.0`` gate, the paper's claim that the
+    overlap win is largest where storage is slowest relative to compute --
+    the PVFS-over-fast-Ethernet cluster -- is pinned here, because this
+    bench is the one place sync and async run the *same* workload (the
+    regression matrix's async cells compare against bare single-dump
+    sync cells, a different denominator).
+    """
+    problems = []
+    by_machine = {c.machine: c for c in comparisons}
+    pvfs = by_machine.get("chiba_city_local")
+    if pvfs is not None and len(by_machine) > 1:
+        best = max(comparisons, key=lambda c: c.bw_speedup)
+        if best.machine != "chiba_city_local":
+            problems.append(
+                "effective-bandwidth win should be largest on "
+                f"chiba_city_local (PVFS/fast-Ethernet), but {best.machine} "
+                f"wins ({best.bw_speedup:.2f}x vs {pvfs.bw_speedup:.2f}x)"
+            )
+    return problems
+
+
+def save_overlap(
+    comparisons: list[OverlapComparison], path: str = OVERLAP_PATH
+) -> dict:
+    """Write the bench artifact; returns the payload written."""
+    payload = {
+        "schema": OVERLAP_SCHEMA,
+        "runs": [c.to_dict() for c in comparisons],
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return payload

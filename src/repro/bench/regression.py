@@ -40,7 +40,7 @@ from .baselines import (
     TRENDS,
     Cell,
 )
-from .runners import run_traced_experiment
+from .runners import run_overlap_experiment, run_traced_experiment
 from .workloads import build_initial_workload, build_workload
 
 __all__ = [
@@ -163,6 +163,59 @@ def _run_figure_cell(cell: Cell, hints: Hints | None) -> dict:
     )
 
 
+def _is_async_strategy(name: str) -> bool:
+    from ..iostack import registry
+
+    try:
+        comp = registry.get(name)
+    except ValueError:
+        return False
+    return bool(comp.options.get("async"))
+
+
+def _run_overlap_cell(cell: Cell, hints: Hints | None) -> dict:
+    """Async strategies are measured under compute/checkpoint overlap.
+
+    A bare checkpoint has nothing to hide the drain behind, so an async
+    cell runs the Enzo driver (3 cycles, dump every cycle, write-behind
+    on): ``write_s`` is the exposed I/O time and ``write_bw`` the
+    *effective* bandwidth the application observes.
+    """
+    from ..enzo.simulation import EnzoConfig
+    from ..iostack import registry
+
+    machine = PRESETS[cell.machine](nprocs=cell.nprocs)
+    if hints is not None and not registry.get(cell.strategy).takes_hints:
+        raise ValueError(
+            f"cannot perturb {cell.id}: the {cell.strategy} strategy "
+            "takes no MPI-IO hints"
+        )
+    strategy = _make_strategy(cell.strategy, hints)
+    config = EnzoConfig(
+        problem=cell.problem, ncycles=3, dump_every=1, overlap=True
+    )
+    trace = trace_filesystem(machine.fs, include_meta=True)
+    try:
+        result = run_overlap_experiment(
+            machine, strategy, config, nprocs=cell.nprocs
+        )
+    finally:
+        trace.detach()
+    return _record(
+        cell,
+        write_s=result.write_time,
+        read_s=0.0,
+        write_phases=result.write_phases,
+        read_phases={},
+        bytes_written=result.bytes_written,
+        bytes_read=0,
+        fs_write_requests=result.fs_write_requests,
+        fs_read_requests=0,
+        fs_recoveries=result.fs_recoveries,
+        trace=trace,
+    )
+
+
 def _record(cell: Cell, *, trace, **kw) -> dict:
     mb = 2**20
     write_s, read_s = float(kw["write_s"]), float(kw["read_s"])
@@ -204,6 +257,8 @@ def run_cell(cell: Cell, *, hints: Hints | None = None) -> dict:
     """
     if cell.figure == "fig5":
         return _run_pattern_cell(cell, hints)
+    if _is_async_strategy(cell.strategy):
+        return _run_overlap_cell(cell, hints)
     return _run_figure_cell(cell, hints)
 
 
@@ -230,22 +285,36 @@ def run_matrix(
             hints = Hints(**perturb[cell.id])
         records[cell.id] = run_cell(cell, hints=hints)
     trends = [
-        {
-            "id": t.id,
-            "description": t.description,
-            "metric": t.metric,
-            "left": t.left,
-            "relation": t.relation,
-            "right": t.right,
-            "ok": t.holds(
-                records[t.left][t.metric], records[t.right][t.metric]
-            ),
-        }
+        _evaluate_trend(t, records)
         for t in TRENDS
-        if t.left in records and t.right in records
+        if all(c in records for c in t.cells)
     ]
     return {"schema": BASELINE_SCHEMA, "rtol": DEFAULT_RTOL,
             "cells": records, "trends": trends}
+
+
+def _evaluate_trend(t, records: dict) -> dict:
+    """One trend against live records; ratio trends divide each side."""
+    lhs = records[t.left][t.metric]
+    rhs = records[t.right][t.metric]
+    out = {
+        "id": t.id,
+        "description": t.description,
+        "metric": t.metric,
+        "left": t.left,
+        "relation": t.relation,
+        "right": t.right,
+    }
+    if t.left_div is not None:
+        lhs /= records[t.left_div][t.metric] or 1.0
+        out["left_div"] = t.left_div
+    if t.right_div is not None:
+        rhs /= records[t.right_div][t.metric] or 1.0
+        out["right_div"] = t.right_div
+    out["lhs"] = round(float(lhs), 6)
+    out["rhs"] = round(float(rhs), 6)
+    out["ok"] = t.holds(lhs, rhs)
+    return out
 
 
 def parse_perturbations(specs: list[str] | None) -> dict[str, dict]:
@@ -348,8 +417,12 @@ def compare(current: dict, baseline: dict, *, rtol: float | None = None
                 })
     for trend in current.get("trends", []):
         if not trend["ok"]:
-            lhs = cur_cells[trend["left"]][trend["metric"]]
-            rhs = cur_cells[trend["right"]][trend["metric"]]
+            lhs = trend.get("lhs")
+            if lhs is None:  # payloads from before ratio trends
+                lhs = cur_cells[trend["left"]][trend["metric"]]
+            rhs = trend.get("rhs")
+            if rhs is None:
+                rhs = cur_cells[trend["right"]][trend["metric"]]
             violations.append({
                 "cell": f"{trend['left']} vs {trend['right']}",
                 "kind": "trend", "metric": trend["metric"],

@@ -391,6 +391,15 @@ def cmd_regress(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.list_cells:
+        rows = [
+            [c.id, c.machine, c.problem,
+             "write+read" if c.do_read else "write"]
+            for c in cells
+        ]
+        print(f"repro regress: {len(cells)} cell(s)")
+        print(format_table(["cell", "machine", "problem", "ops"], rows))
+        return 0
     progress = None if args.quiet else lambda msg: print(f"  {msg}")
     if progress:
         print(f"repro regress: {len(cells)} cell(s)")
@@ -451,6 +460,62 @@ def cmd_regress(args) -> int:
         report, title=f"repro regress vs {args.baseline or BASELINE_PATH}"
     ))
     return 0 if report.ok else 1
+
+
+def cmd_overlap(args) -> int:
+    """Sync vs write-behind on each machine; writes BENCH_overlap.json."""
+    from .bench.overlap import (
+        DEFAULT_PAIRS, check_trends, run_overlap_bench, save_overlap,
+    )
+
+    pairs = DEFAULT_PAIRS
+    if args.machine:
+        pairs = tuple(p for p in DEFAULT_PAIRS if p[0] in args.machine)
+        missing = set(args.machine) - {p[0] for p in pairs}
+        if missing:
+            print(f"error: no overlap pair for machine(s) "
+                  f"{', '.join(sorted(missing))} (have: "
+                  f"{', '.join(p[0] for p in DEFAULT_PAIRS)})",
+                  file=sys.stderr)
+            return 2
+    progress = None if args.quiet else lambda msg: print(f"  {msg}")
+    if progress:
+        print(f"repro overlap: {len(pairs)} machine(s), "
+              f"P={args.procs}, {args.cycles} cycles")
+    comparisons = run_overlap_bench(
+        pairs, nprocs=args.procs, ncycles=args.cycles, progress=progress
+    )
+    rows = [
+        [
+            c.machine,
+            c.problem,
+            c.sync.strategy,
+            c.async_.strategy,
+            f"{c.sync.makespan:.3f}",
+            f"{c.async_.makespan:.3f}",
+            f"{c.speedup:.2f}x",
+            f"{c.bw_speedup:.2f}x",
+        ]
+        for c in comparisons
+    ]
+    print(format_table(
+        ["machine", "problem", "sync", "async", "sync [s]", "async [s]",
+         "speedup", "eff-bw"],
+        rows,
+    ))
+    if args.out:
+        save_overlap(comparisons, args.out)
+        print(f"wrote {args.out}")
+    failed = False
+    for c in comparisons:
+        if c.speedup <= 1.0:
+            print(f"overlap REGRESSION: {c.machine}/{c.problem} speedup "
+                  f"{c.speedup:.3f} <= 1.0", file=sys.stderr)
+            failed = True
+    for problem in check_trends(comparisons):
+        print(f"overlap TREND VIOLATED: {problem}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -559,6 +624,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "self-test), e.g. 'fig6:mpi-io:8:cb_buffer_size=2097152'")
     r.add_argument("--quiet", action="store_true",
                    help="suppress per-cell progress lines")
+    r.add_argument("--list-cells", action="store_true",
+                   help="list the cells the --cell specs select (or the "
+                        "whole matrix) without running anything")
+
+    o = sub.add_parser(
+        "overlap",
+        help="compute/checkpoint overlap bench: sync vs write-behind "
+             "(writes BENCH_overlap.json, exit 1 if overlap stops winning)",
+    )
+    o.add_argument("--procs", type=int, default=8)
+    o.add_argument("--cycles", type=int, default=3)
+    o.add_argument("--machine", action="append", default=None,
+                   choices=sorted(PRESETS),
+                   help="restrict to these machine presets (repeatable)")
+    o.add_argument("--out", default="BENCH_overlap.json", metavar="PATH",
+                   help="bench artifact path (default BENCH_overlap.json)")
+    o.add_argument("--quiet", action="store_true",
+                   help="suppress per-machine progress lines")
 
     s = sub.add_parser("simulate", help="run the full ENZO flow")
     s.add_argument("--problem", default="AMR32")
@@ -587,6 +670,7 @@ def main(argv=None) -> int:
         "table": cmd_table,
         "strategies": cmd_strategies,
         "regress": cmd_regress,
+        "overlap": cmd_overlap,
     }[args.command]
     try:
         return handler(args)

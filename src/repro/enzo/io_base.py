@@ -19,6 +19,7 @@ from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
+from ..aio.core import drain_all
 from ..amr.grid import Grid
 from ..mpi import collectives as coll
 from ..mpi.comm import Comm
@@ -37,6 +38,7 @@ __all__ = [
     "ComposedStrategy",
     "IOStats",
     "IOStrategy",
+    "PendingDump",
     "StackContext",
     "StackExecutor",
     "hierarchy_path",
@@ -74,6 +76,8 @@ class IOStrategy(ABC):
     name: str = "abstract"
     #: optional RetryPolicy; ``None`` = fail-fast (pre-resilience behaviour)
     retry: RetryPolicy | None = None
+    #: optional repro.aio.AioConfig; ``None`` = fully synchronous I/O
+    aio = None
 
     @abstractmethod
     def write_checkpoint(
@@ -283,6 +287,45 @@ class StackContext:
         self.stats.add_phase(name, self.comm.clock - t)
 
 
+@dataclass
+class PendingDump:
+    """A posted checkpoint dump awaiting its drain + manifest commit.
+
+    Produced by :meth:`StackExecutor.write_async`; the caller overlaps
+    compute with the background drain and calls :meth:`complete` before
+    the data may be needed (next dump, restart, shutdown).  ``complete``
+    is where deferred I/O errors surface -- *before* the manifest is
+    written, so a failed drain leaves no commit record and a restart
+    fails loudly instead of trusting torn state.
+    """
+
+    ctx: StackContext
+    _done: bool = False
+
+    @property
+    def stats(self) -> IOStats:
+        return self.ctx.stats
+
+    def complete(self) -> IOStats:
+        """Drain, barrier, commit the manifest; returns the final stats.
+
+        Idempotent; the recorded ``drain_wait`` phase is the part of the
+        write the overlap failed to hide.
+        """
+        if self._done:
+            return self.ctx.stats
+        self._done = True
+        ctx = self.ctx
+        comm = ctx.comm
+        t0 = comm.clock
+        with ctx.timed("drain_wait"):
+            drain_all(comm)
+        coll.barrier(comm)  # every rank's data is durable before commit
+        ctx.strategy.write_manifest(comm, ctx.base, ctx.entries)
+        ctx.stats.elapsed += comm.clock - t0
+        return ctx.stats
+
+
 class StackExecutor:
     """Runs a composed strategy: the one place orchestration lives.
 
@@ -305,6 +348,11 @@ class StackExecutor:
 
     def write(self, comm: Comm, state: RankState, base: str) -> IOStats:
         s = self.strategy
+        if getattr(s, "aio", None) is not None:
+            # Async transport: post the data phases, then immediately
+            # drain and commit (no compute to overlap with here -- the
+            # Enzo driver's double buffering calls write_async directly).
+            return self.write_async(comm, state, base).complete()
         stats = IOStats(strategy=s.name, operation="write")
         t0 = comm.clock
         layout = s.layout_planner.plan(state.meta)
@@ -316,6 +364,30 @@ class StackExecutor:
         s.write_manifest(comm, base, ctx.entries)
         stats.elapsed = comm.clock - t0
         return stats
+
+    def write_async(self, comm: Comm, state: RankState, base: str) -> "PendingDump":
+        """Post the dump's data phases and return without committing.
+
+        Runs the exact sidecar/open/transport/close sequence of
+        :meth:`write`, but with the strategy's ``aio`` config the data
+        writes are posted to the background flush service, so the rank
+        returns as soon as staging and communication are done.  The CRC32
+        manifest is *not* written yet: :meth:`PendingDump.complete` drains
+        every pending request (the explicit flush barrier) and only then
+        commits, preserving the crash-consistency invariant that a
+        manifest's presence proves fully-landed data.
+        """
+        s = self.strategy
+        stats = IOStats(strategy=s.name, operation="write")
+        t0 = comm.clock
+        layout = s.layout_planner.plan(state.meta)
+        ctx = StackContext(s, comm, base, stats, [])
+        s.write_meta_sidecar(comm, base, state.meta)
+        session = s.format.open_write(ctx, state.meta, layout)
+        s.transport.write(ctx, session, layout, state)
+        session.close()
+        stats.elapsed = comm.clock - t0
+        return PendingDump(ctx=ctx)
 
     def read(self, comm: Comm, base: str) -> tuple[RankState, IOStats]:
         s = self.strategy
@@ -356,17 +428,31 @@ class ComposedStrategy(IOStrategy):
 
     def __init__(
         self, name: str, layout_planner, transport, fmt,
-        retry: RetryPolicy | None = None,
+        retry: RetryPolicy | None = None, aio=None,
     ):
         self.name = name
         self.layout_planner = layout_planner
         self.transport = transport
         self.format = fmt
         self.retry = retry
+        #: optional repro.aio.AioConfig; non-None makes every data write
+        #: nonblocking (posted to the per-rank background flush service)
+        self.aio = aio
         self._executor = StackExecutor(self)
 
     def write_checkpoint(self, comm: Comm, state: RankState, base: str) -> IOStats:
         return self._executor.write(comm, state, base)
+
+    def write_checkpoint_async(
+        self, comm: Comm, state: RankState, base: str
+    ) -> PendingDump:
+        """Post a dump; :meth:`PendingDump.complete` commits it.
+
+        Valid for any composition (a synchronous strategy's "pending"
+        dump simply has nothing left to drain), so drivers can double
+        -buffer unconditionally.
+        """
+        return self._executor.write_async(comm, state, base)
 
     def read_checkpoint(self, comm: Comm, base: str) -> tuple[RankState, IOStats]:
         return self._executor.read(comm, base)

@@ -54,6 +54,11 @@ class EnzoConfig:
     refine_threshold: float = 1.8
     dt: float = 0.1
     owner_policy: str = "lpt"
+    #: double-buffered write-behind: post dump *k* asynchronously and let
+    #: cycle *k+1* compute while it drains (needs an async-capable
+    #: strategy, e.g. the ``mpi-io-async`` composition; synchronous
+    #: strategies dump inline regardless)
+    overlap: bool = False
 
     @property
     def root_dims(self) -> tuple[int, int, int]:
@@ -110,6 +115,8 @@ class EnzoSimulation:
         )
         dumps = []
         my_stats = []  # this rank's dump stats (self.write_stats is shared)
+        overlap = cfg.overlap and getattr(self.strategy, "aio", None) is not None
+        pending = None  # at most one in-flight dump (double buffering)
         for cycle in range(1, cfg.ncycles + 1):
             self._evolve_step(comm, state)
             # Mesh adaptation + rebalancing: structure may change, so the
@@ -119,10 +126,24 @@ class EnzoSimulation:
             )
             if cycle % cfg.dump_every == 0:
                 path = f"{base}.cycle{cycle:04d}"
-                stats = self.strategy.write_checkpoint(comm, state, path)
-                my_stats.append(stats)
-                self.write_stats.append(stats)
+                if pending is not None:
+                    # Commit dump k-1 (drain + manifest) before posting k.
+                    stats = pending.complete()
+                    my_stats.append(stats)
+                    self.write_stats.append(stats)
+                if overlap:
+                    pending = self.strategy.write_checkpoint_async(
+                        comm, state, path
+                    )
+                else:
+                    stats = self.strategy.write_checkpoint(comm, state, path)
+                    my_stats.append(stats)
+                    self.write_stats.append(stats)
                 dumps.append(path)
+        if pending is not None:
+            stats = pending.complete()
+            my_stats.append(stats)
+            self.write_stats.append(stats)
         return {
             "dumps": dumps,
             "cycles": cfg.ncycles,

@@ -258,6 +258,7 @@ class H5File:
         hints: Optional[Hints] = None,
         costs: Optional[H5Costs] = None,
         retry=None,
+        aio=None,
         meta_aggregation: bool = False,
     ) -> "H5File":
         if mode not in ("r", "w"):
@@ -296,7 +297,7 @@ class H5File:
             proc.advance_to(done)
         return cls(
             comm,
-            ADIOFile(fs, path, comm, retry=retry),
+            ADIOFile(fs, path, comm, retry=retry, aio=aio if mode == "w" else None),
             mode,
             parallel=parallel,
             hints=(hints or Hints()).validate(),

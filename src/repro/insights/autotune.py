@@ -94,6 +94,28 @@ class TuningReport:
         b = self.baseline.bandwidth
         return self.best.bandwidth / b if b else float("inf")
 
+    @property
+    def unapplied_upgrades(self) -> list[str]:
+        """Registered upgrades the tuner suggested but never ran.
+
+        The transitive ``upgrades_to`` chain of every visited strategy,
+        minus the strategies actually measured -- non-empty output means
+        the report's winner is not the end of the road (e.g. the round
+        budget ran out before ``mpi-io-async`` was tried).  A chain step
+        the tuner jumped *past* (something further down its chain was
+        measured) is not unapplied.
+        """
+        tried = {s.strategy for s in self.steps}
+        out: list[str] = []
+        for strategy in sorted(tried):
+            for target in registry.upgrade_chain(strategy):
+                if target in tried or target in out:
+                    continue
+                if tried.intersection(registry.upgrade_chain(target)):
+                    continue  # the tuner went further down this chain
+                out.append(target)
+        return out
+
     def to_dict(self) -> dict:
         return {
             "problem": self.problem,
@@ -104,6 +126,7 @@ class TuningReport:
             "tuned_bandwidth_mb_s": self.best.bandwidth / 2**20,
             "bandwidth_delta_mb_s": self.bandwidth_delta / 2**20,
             "speedup": self.speedup,
+            "unapplied_upgrades": self.unapplied_upgrades,
         }
 
     def explain(self) -> str:
@@ -122,6 +145,11 @@ class TuningReport:
             f"({self.baseline.bandwidth / 2**20:.1f} -> "
             f"{self.best.bandwidth / 2**20:.1f} MB/s)"
         )
+        unapplied = self.unapplied_upgrades
+        if unapplied:
+            lines.append(
+                "  suggested but not applied: " + ", ".join(unapplied)
+            )
         return "\n".join(lines)
 
 
@@ -156,15 +184,43 @@ class AutoTuner:
     def run_once(
         self, strategy: str, hints: Hints
     ) -> tuple[IOTrace, Diagnosis, object]:
-        """Execute the dump traced, and diagnose the trace."""
+        """Execute the dump traced, and diagnose the trace.
+
+        Async compositions are measured the only way their win is visible:
+        under compute/checkpoint overlap (the Enzo driver with write-behind
+        on), reporting effective bandwidth -- the same convention the
+        regression matrix uses for its async cells.
+        """
         machine = self.machine_factory(self.nprocs)
-        result, trace = run_traced_experiment(
-            machine,
-            registry.create(strategy, hints=hints, retry=self.retry),
-            build_workload(self.problem),
-            nprocs=self.nprocs,
-            do_read=False,
-        )
+        if registry.get(strategy).options.get("async"):
+            from ..bench.runners import run_overlap_experiment
+            from ..core.trace import trace_filesystem
+            from ..enzo.simulation import EnzoConfig
+
+            # Two overlapped dumps over four cycles: enough for the
+            # write-behind to show, few enough files that the multi-dump
+            # trace does not read as a file-per-grid layout.
+            config = EnzoConfig(
+                problem=self.problem, ncycles=4, dump_every=2, overlap=True
+            )
+            trace = trace_filesystem(machine.fs, include_meta=True)
+            try:
+                result = run_overlap_experiment(
+                    machine,
+                    registry.create(strategy, hints=hints, retry=self.retry),
+                    config,
+                    nprocs=self.nprocs,
+                )
+            finally:
+                trace.detach()
+        else:
+            result, trace = run_traced_experiment(
+                machine,
+                registry.create(strategy, hints=hints, retry=self.retry),
+                build_workload(self.problem),
+                nprocs=self.nprocs,
+                do_read=False,
+            )
         diagnosis = diagnose(
             trace,
             nprocs=self.nprocs,
@@ -189,12 +245,12 @@ class AutoTuner:
                 target = rec.params.get("to", "")
                 if (
                     target != new_strategy
-                    and STRATEGY_UPGRADES.get(new_strategy) == target
+                    and target in registry.upgrade_chain(new_strategy)
                 ):
                     new_strategy = target
                     applied.append(f"strategy -> {target}")
         new_hints = hints
-        if new_strategy in ("mpi-io", "hdf5"):
+        if registry.get(new_strategy).takes_hints:
             for rec in diagnosis.recommendations(max_severity=Severity.WARN):
                 if rec.action != "set_hint":
                     continue

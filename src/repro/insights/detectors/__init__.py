@@ -6,7 +6,8 @@ Each module groups related rules:
 * :mod:`.layout`     -- file-count, alignment, and shared-file findings;
 * :mod:`.balance`    -- rank/node byte-distribution findings;
 * :mod:`.metadata`   -- namespace-churn findings;
-* :mod:`.resilience` -- retry-storm and degraded-collective findings.
+* :mod:`.resilience` -- retry-storm and degraded-collective findings;
+* :mod:`.overlap`    -- synchronous-checkpoint-stall findings.
 """
 
-from . import balance, layout, metadata, requests, resilience  # noqa: F401
+from . import balance, layout, metadata, overlap, requests, resilience  # noqa: F401

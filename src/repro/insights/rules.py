@@ -61,6 +61,9 @@ class Thresholds:
     retry_ratio_high: float = 0.25
     #: ... and degraded collective-to-independent fallbacks per run
     degraded_high: int = 4
+    #: sync-checkpoint-stall: writer busy fraction of the dump span above
+    #: which a synchronous strategy is worth moving to write-behind
+    sync_stall_fraction: float = 0.15
 
 
 @dataclass
@@ -188,5 +191,15 @@ def diagnose(
         "files": len(trace.paths()),
         "nprocs": nprocs,
         "strategy": strategy or "",
+        "suggested_upgrades": _suggested_upgrades(strategy),
     }
     return diagnosis
+
+
+def _suggested_upgrades(strategy: str | None) -> list[str]:
+    """The strategy's transitive upgrade chain, [] when unregistered."""
+    if not strategy:
+        return []
+    from ..iostack import registry
+
+    return list(registry.upgrade_chain(strategy))

@@ -171,7 +171,8 @@ class _RawSession:
         self.ctx = ctx
         self.layout = layout
         self.fh = File.open(
-            ctx.comm, ctx.base, mode, hints=fmt.hints, retry=ctx.strategy.retry
+            ctx.comm, ctx.base, mode, hints=fmt.hints, retry=ctx.strategy.retry,
+            aio=getattr(ctx.strategy, "aio", None) if mode == "w" else None,
         )
 
     def close(self) -> None:
@@ -308,6 +309,7 @@ class HDF5Format:
         f = H5File.create(
             ctx.comm, ctx.base, driver="mpio", hints=self.hints,
             costs=self.costs, retry=ctx.strategy.retry,
+            aio=getattr(ctx.strategy, "aio", None),
             meta_aggregation=self.meta_aggregation,
         )
         return _H5Session(ctx, f)

@@ -39,6 +39,7 @@ __all__ = [
     "names",
     "register",
     "unregister",
+    "upgrade_chain",
     "upgrades",
 ]
 
@@ -142,6 +143,23 @@ def upgrades() -> dict[str, str]:
     return {c.name: c.upgrades_to for c in compositions() if c.upgrades_to}
 
 
+def upgrade_chain(name: str) -> tuple[str, ...]:
+    """The transitive ``upgrades_to`` chain from ``name``, in order.
+
+    ``upgrade_chain("hdf4")`` is ``("mpi-io", "mpi-io-async")``.  Unknown
+    names yield an empty chain (callers often hold a free-form strategy
+    string); cycles are cut rather than looped.
+    """
+    chain: list[str] = []
+    seen = {name}
+    comp = _REGISTRY.get(name)
+    while comp is not None and comp.upgrades_to and comp.upgrades_to not in seen:
+        chain.append(comp.upgrades_to)
+        seen.add(comp.upgrades_to)
+        comp = _REGISTRY.get(comp.upgrades_to)
+    return tuple(chain)
+
+
 def create(name: str, *, hints=None, retry=None, read_mode: str | None = None):
     """Instantiate a registered composition as a runnable strategy.
 
@@ -149,12 +167,14 @@ def create(name: str, *, hints=None, retry=None, read_mode: str | None = None):
     by ``hdf4``, matching the original driver's signature); ``read_mode``
     overrides the funnel transport's restart-read path.
     """
+    from ..aio.core import AioConfig
     from ..enzo.io_base import ComposedStrategy
     from ..hdf5.file import H5Costs
     from ..mpiio.hints import Hints
 
     comp = get(name)
     opts = comp.options
+    aio = AioConfig() if opts.get("async") else None
     layout = LAYOUTS[comp.layout]()
     if comp.transport == "funnel":
         transport = FunnelTransport(
@@ -180,7 +200,9 @@ def create(name: str, *, hints=None, retry=None, read_mode: str | None = None):
             ),
             meta_aggregation=bool(opts.get("meta_aggregation", False)),
         )
-    return ComposedStrategy(comp.name, layout, transport, fmt, retry=retry)
+    return ComposedStrategy(
+        comp.name, layout, transport, fmt, retry=retry, aio=aio
+    )
 
 
 # -- built-in compositions (the paper's three strategies + the Section 5 fix)
@@ -195,6 +217,7 @@ register(StrategyComposition(
     name="mpi-io",
     layout="shared-file", transport="collective", format="raw",
     description="paper's optimisation: collective two-phase MPI-IO, one shared file",
+    upgrades_to="mpi-io-async",
 ))
 register(StrategyComposition(
     name="hdf5",
@@ -208,4 +231,30 @@ register(StrategyComposition(
     description="HDF5 with metadata aggregation + aligned data (paper Section 5 remedy)",
     options={"meta_aggregation": True, "alignment": 1 << 20},
     variant_of="hdf5",
+))
+
+# -- asynchronous variants (repro.aio): nonblocking writes drained by a
+# per-rank background flush service, manifest commit behind a flush barrier
+
+register(StrategyComposition(
+    name="mpi-io-async",
+    layout="shared-file", transport="collective", format="raw",
+    description="collective MPI-IO with nonblocking writes and background flush",
+    options={"async": True},
+    variant_of="mpi-io",
+))
+register(StrategyComposition(
+    name="hdf5-async",
+    layout="shared-file", transport="collective", format="hdf5",
+    description="parallel HDF5 over nonblocking writes (VOL-async style)",
+    options={"async": True},
+    upgrades_to="mpi-io-async",
+    variant_of="hdf5",
+))
+register(StrategyComposition(
+    name="hdf5-aligned-async",
+    layout="shared-file", transport="collective", format="hdf5",
+    description="Section 5 remedies plus background flush (aligned + async)",
+    options={"meta_aggregation": True, "alignment": 1 << 20, "async": True},
+    variant_of="hdf5-aligned",
 ))

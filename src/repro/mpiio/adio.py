@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..aio.core import AioConfig, AioRequest, progress_engine
 from ..mpi.comm import Comm
 from ..pfs.base import FileSystem, InjectedIOError
 from ..resilience.retry import RetryPolicy
@@ -41,13 +42,23 @@ class ADIOFile:
     """
 
     def __init__(
-        self, fs: FileSystem, path: str, comm: Comm, retry: RetryPolicy | None = None
+        self,
+        fs: FileSystem,
+        path: str,
+        comm: Comm,
+        retry: RetryPolicy | None = None,
+        aio: AioConfig | None = None,
     ):
         self.fs = fs
         self.path = path
         self.comm = comm
         self.retry = retry
+        self.aio = aio
         self._closed = False
+        # Last request posted through this handle (and a sequence counter
+        # so callers can tell whether an operation posted anything).
+        self._last_posted: AioRequest | None = None
+        self._post_seq = 0
 
     @property
     def _node(self) -> int:
@@ -108,11 +119,75 @@ class ADIOFile:
             proc.advance_to(done)
             return result
 
+    # -- nonblocking post path (repro.aio) --------------------------------
+
+    def _post_write(self, issue, nbytes: int) -> AioRequest:
+        """Post ``issue`` to the rank's background flush service.
+
+        The data is issued to the file system *now* (bytes land eagerly,
+        identical to a blocking write), but the completion time is booked
+        on the progress engine's drain timeline; the rank pays only the
+        staging memcpy plus any backpressure wait.  Retries of transient
+        failures run entirely on the drain timeline; an exhausted retry
+        budget records the error on the returned request, to be raised
+        when the request is waited on (drain / close / manifest barrier).
+        """
+        proc = self.comm.proc
+        proc.schedule_point()
+        eng = progress_engine(proc, self.aio)
+        eng.reserve(nbytes, proc)
+        proc.advance(self.comm.machine.memcpy_time(nbytes))
+        issue_at = max(proc.clock, eng.clock)
+        policy = self.retry
+        attempt = 0
+        error: BaseException | None = None
+        while True:
+            try:
+                with self.fs.background_flush():
+                    _result, done = issue(issue_at)
+            except InjectedIOError as exc:
+                if policy is None or attempt >= policy.max_retries:
+                    if policy is not None and policy.max_retries > 0:
+                        self.fs.notify_recovery(
+                            self.path, "giveup", node=self._node,
+                            time=issue_at, attempt=attempt, nbytes=nbytes,
+                        )
+                    error, done = exc, issue_at
+                    break
+                attempt += 1
+                issue_at += policy.backoff(attempt)
+                self.fs.notify_recovery(
+                    self.path, "retry", node=self._node,
+                    time=issue_at, attempt=attempt, nbytes=nbytes,
+                )
+                continue
+            if attempt > 0:
+                self.fs.notify_recovery(
+                    self.path, "recovered", node=self._node,
+                    time=done, attempt=attempt, nbytes=nbytes,
+                )
+            break
+        req = eng.post(AioRequest(
+            path=self.path, nbytes=nbytes, done_time=done, error=error
+        ))
+        self._last_posted = req
+        self._post_seq += 1
+        return req
+
+    def _drain_pending(self) -> None:
+        """Complete this rank's outstanding posts (reads must observe
+        every prior write's completion time, not just its bytes)."""
+        proc = self.comm.proc
+        eng = progress_engine(proc, self.aio)
+        eng.drain(proc)
+
     # -- contiguous primitives -------------------------------------------
 
     def read_contig(self, offset: int, nbytes: int) -> bytes:
         """Blocking contiguous read; advances the rank's clock."""
         self._check_open()
+        if self.aio is not None:
+            self._drain_pending()
 
         def issue(ready_time):
             return self.fs.read(
@@ -132,11 +207,16 @@ class ADIOFile:
             )
             return len(buf), done
 
+        if self.aio is not None:
+            self._post_write(issue, len(buf))
+            return len(buf)
         return self._issue(issue, len(buf))
 
     def read_list(self, segments: list[tuple[int, int]]) -> bytes:
         """One list-I/O read request covering all ``segments``."""
         self._check_open()
+        if self.aio is not None:
+            self._drain_pending()
         total = sum(n for _, n in segments)
 
         def issue(ready_time):
@@ -157,12 +237,60 @@ class ADIOFile:
             )
             return len(buf), done
 
+        if self.aio is not None:
+            self._post_write(issue, len(buf))
+            return len(buf)
         return self._issue(issue, len(buf))
+
+    # -- explicit nonblocking primitives ----------------------------------
+
+    def iwrite_contig(self, offset: int, data) -> AioRequest:
+        """Nonblocking contiguous write; returns a testable/waitable
+        request.  Without an ``aio`` config this degrades to the blocking
+        write and returns an already-completed request (legal MPI
+        semantics for ``MPI_File_iwrite``)."""
+        self._check_open()
+        buf = as_byte_view(data)
+
+        def issue(ready_time):
+            done = self.fs.write(
+                self.path, offset, buf, node=self._node, ready_time=ready_time
+            )
+            return len(buf), done
+
+        if self.aio is not None:
+            return self._post_write(issue, len(buf))
+        self._issue(issue, len(buf))
+        return AioRequest(
+            path=self.path, nbytes=len(buf),
+            done_time=self.comm.proc.clock, retired=True,
+        )
+
+    def iwrite_list(self, segments: list[tuple[int, int]], data) -> AioRequest:
+        """Nonblocking list-I/O write; see :meth:`iwrite_contig`."""
+        self._check_open()
+        buf = as_byte_view(data)
+
+        def issue(ready_time):
+            done = self.fs.write_list(
+                self.path, segments, buf, node=self._node, ready_time=ready_time
+            )
+            return len(buf), done
+
+        if self.aio is not None:
+            return self._post_write(issue, len(buf))
+        self._issue(issue, len(buf))
+        return AioRequest(
+            path=self.path, nbytes=len(buf),
+            done_time=self.comm.proc.clock, retired=True,
+        )
 
     # -- metadata ------------------------------------------------------------
 
     def size(self) -> int:
         self._check_open()
+        if self.aio is not None:
+            self._drain_pending()
         return self.fs.file_size(self.path)
 
     def close(self) -> None:

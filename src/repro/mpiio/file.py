@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..aio.core import AioRequest
 from ..mpi import collectives as coll
 from ..mpi.comm import Comm
 from ..mpi.datatypes import BYTE, Datatype
@@ -58,12 +59,16 @@ class File:
         fs: Optional[FileSystem] = None,
         hints: Optional[Hints] = None,
         retry=None,
+        aio=None,
     ) -> "File":
         """Collectively open ``path``.  Modes: 'r', 'w' (create), 'rw', 'a'.
 
         ``fs`` defaults to the machine's attached file system.  ``retry``
         is an optional :class:`~repro.resilience.RetryPolicy` applied to
-        every data operation on the returned handle.
+        every data operation on the returned handle.  ``aio`` is an
+        optional :class:`~repro.aio.AioConfig`: with it, writes are posted
+        to the rank's background flush service (nonblocking semantics) and
+        ``iwrite_at``/``iwrite_at_all`` return genuinely pending requests.
         """
         if mode not in ("r", "w", "rw", "a"):
             raise ValueError(f"bad mode {mode!r}")
@@ -98,10 +103,15 @@ class File:
                 ready_time=proc.clock,
             )
             proc.advance_to(done)
-        return cls(comm, ADIOFile(fs, path, comm, retry=retry), hints)
+        return cls(comm, ADIOFile(fs, path, comm, retry=retry, aio=aio), hints)
 
     def close(self) -> None:
-        """Collective close; flushes any write-behind buffer first."""
+        """Collective close; flushes any write-behind buffer first.
+
+        Posted asynchronous writes stay pending past close -- the flush
+        barrier before a manifest commit (or an explicit request wait)
+        retires them; the bytes themselves landed at post time.
+        """
         self._wb_flush()
         coll.barrier(self.comm)
         self.adio.close()
@@ -232,6 +242,43 @@ class File:
         n = self.write_at(self._pointer, buf)
         self._advance_pointer(n)
         return n
+
+    # -- nonblocking I/O (repro.aio request objects) ---------------------------
+
+    def iwrite_at(self, offset: int, buf):
+        """Nonblocking independent write (``MPI_File_iwrite_at``).
+
+        Returns an :class:`~repro.aio.AioRequest` with ``test(proc)`` /
+        ``wait(proc)`` semantics.  Without an ``aio`` config on the handle
+        the write completes immediately and the request is pre-completed.
+        """
+        self._wb_flush()
+        nbytes = self._nbytes(buf)
+        segs = self._segments_for(offset, nbytes)
+        if len(segs) == 1:
+            return self.adio.iwrite_contig(segs[0][0], buf)
+        return self.adio.iwrite_list(segs, buf)
+
+    def iwrite_at_all(self, offset: int, buf):
+        """Nonblocking collective write (``MPI_File_iwrite_at_all``).
+
+        Split-phase two-phase I/O: the exchange phase runs synchronously
+        (it is communication, every rank must participate now), while the
+        aggregators' file writes are posted to the background flush
+        service.  The returned request completes when this rank's share of
+        the drain is done; waiting on it surfaces deferred I/O errors.
+        """
+        self._wb_flush()
+        nbytes = self._nbytes(buf)
+        segs = self._segments_for(offset, nbytes)
+        before = self.adio._post_seq
+        collective_write(self.comm, self.adio, segs, buf, self.hints)
+        if self.adio.aio is not None and self.adio._post_seq > before:
+            return self.adio._last_posted
+        return AioRequest(
+            path=self.adio.path, nbytes=nbytes,
+            done_time=self.comm.proc.clock, retired=True,
+        )
 
     # -- collective I/O ---------------------------------------------------------------
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .blockstore import BlockStore
@@ -160,6 +161,27 @@ class FileSystem:
         self.store = store if store is not None else BlockStore()
         self.counters = FSCounters()
         self._faults: list[FaultSpec] = []
+        self.background_flush_active = False
+
+    @contextmanager
+    def background_flush(self):
+        """Mark I/O issued inside the block as background-flush traffic.
+
+        The async progress engine books its drain on a timeline that runs
+        ahead of the issuing rank's clock.  A performance model whose
+        client-side resources are shared with message passing must not let
+        those future reservations head-of-line-block foreground traffic
+        (a scalar busy-until device cannot interleave them), so models
+        route background writes through a dedicated per-node flush channel
+        instead.  Server-side resources stay shared: the flush still
+        contends for disks and server CPUs like any other client.
+        """
+        prev = self.background_flush_active
+        self.background_flush_active = True
+        try:
+            yield
+        finally:
+            self.background_flush_active = prev
 
     # -- fault injection -----------------------------------------------------
 

@@ -187,6 +187,13 @@ class StripedServerFS(FileSystem):
         self.token_manager = Timeline(name=f"{name}.token-mgr")
         # Per-SMP-node I/O request queues (created lazily).
         self._node_queues: dict[int, Timeline] = {}
+        # Per-node background-flush NIC channels (created lazily): the
+        # async progress thread's injection path.  Drain writes are booked
+        # ahead of the issuing rank's clock; putting them on the shared
+        # ``client_network`` egress would let those future reservations
+        # head-of-line-block ordinary messages, which a real NIC
+        # timeshares instead.
+        self._flush_egress: dict[int, Timeline] = {}
         self.token_revocations = 0
 
     # -- helpers -----------------------------------------------------------
@@ -226,7 +233,13 @@ class StripedServerFS(FileSystem):
         if self.client_network is None:
             return None, None, 0.0
         net = self.client_network
-        return net.egress[node], net.ingress[node], 1.0 / net.bandwidth
+        egress = net.egress[node]
+        if self.background_flush_active:
+            egress = self._flush_egress.get(node)
+            if egress is None:
+                egress = Timeline(name=f"{self.name}.flush[{node}]")
+                self._flush_egress[node] = egress
+        return egress, net.ingress[node], 1.0 / net.bandwidth
 
     def _token_keys(
         self, path: str, chunks: list[Chunk], layout: StripeLayout
@@ -430,6 +443,8 @@ class StripedServerFS(FileSystem):
         for q in self._node_queues.values():
             q.reset()
         for ch in self._client_channels.values():
+            ch.reset()
+        for ch in self._flush_egress.values():
             ch.reset()
         self.token_manager.reset()
 

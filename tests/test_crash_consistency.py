@@ -151,3 +151,61 @@ def test_torn_manifest_itself_is_rejected(hierarchy):
     with pytest.raises(RankFailedError) as ei:
         run_spmd(m, read_program(MPIIOStrategy()))
     assert isinstance(ei.value.__cause__, ManifestVerificationError)
+
+
+# -- the async composition: faults injected mid-drain -----------------------
+#
+# With the background flush service, a write's failure is detected by the
+# progress engine and deferred to retirement -- which happens at the flush
+# barrier *before* the manifest commit.  The matrix below proves the same
+# recover-or-fail-loudly contract holds when every data write is posted
+# asynchronously.
+
+
+@pytest.fixture(scope="module")
+def async_write_count(hierarchy):
+    from repro.iostack import registry
+
+    m = make_machine(NPROCS)
+    run_spmd(m, write_program(hierarchy, registry.create("mpi-io-async")))
+    return m.fs.counters.writes
+
+
+@pytest.mark.slow
+@pytest.mark.regression
+def test_async_fault_at_every_write_index_with_retry_recovers(
+    hierarchy, async_write_count
+):
+    """Background retries absorb a one-shot fault at any posted write."""
+    from repro.iostack import registry
+
+    for index in range(async_write_count):
+        m = make_machine(NPROCS)
+        m.fs.inject_fault("write", "ckpt", after=index)
+        strategy = registry.create(
+            "mpi-io-async", retry=RetryPolicy(max_retries=2)
+        )
+        run_spmd(m, write_program(hierarchy, strategy))
+        assert m.fs.counters.recoveries > 0, f"index {index}: never fired"
+        res = run_spmd(m, read_program(MPIIOStrategy()))
+        rebuilt = RankState.collect(res.results)
+        assert hierarchies_equivalent(rebuilt, hierarchy), f"index {index}"
+
+
+@pytest.mark.slow
+@pytest.mark.regression
+def test_async_fault_at_every_write_index_without_retry_fails_loudly(
+    hierarchy, async_write_count
+):
+    """No retry: the deferred error aborts at (or before) the flush
+    barrier, the manifest is never committed, and the restart refuses."""
+    from repro.iostack import registry
+
+    for index in range(async_write_count):
+        m = make_machine(NPROCS)
+        m.fs.inject_fault("write", "ckpt", after=index)
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(m, write_program(hierarchy, registry.create("mpi-io-async")))
+        assert isinstance(ei.value.__cause__, InjectedIOError), f"index {index}"
+        with pytest.raises(RankFailedError):
+            run_spmd(m, read_program(MPIIOStrategy()))

@@ -25,11 +25,13 @@ def test_autotune_improves_small_request_workload():
     )
     report = tuner.tune()
     assert report.baseline.strategy == "hdf4"
-    assert report.best.strategy == "mpi-io"
+    # the stall rule pushes past mpi-io to the end of the upgrade chain
+    assert report.best.strategy == "mpi-io-async"
     assert report.bandwidth_delta > 0  # strictly positive improvement
     assert report.speedup > 1.0
     assert report.best.high == 0
     assert report.baseline.high >= 1
+    assert report.unapplied_upgrades == []  # the chain was fully explored
     # the report explains itself and serializes
     text = report.explain()
     assert "auto-tune AMR16" in text

@@ -136,7 +136,14 @@ class TestRegistry:
         ups = registry.upgrades()
         assert ups["hdf4"] == "mpi-io"
         assert ups["hdf5"] == "mpi-io"
-        assert "mpi-io" not in ups
+        assert ups["mpi-io"] == "mpi-io-async"
+        assert "mpi-io-async" not in ups  # the chain terminates
+
+    def test_upgrade_chain_is_transitive(self):
+        assert registry.upgrade_chain("hdf4") == ("mpi-io", "mpi-io-async")
+        assert registry.upgrade_chain("mpi-io") == ("mpi-io-async",)
+        assert registry.upgrade_chain("mpi-io-async") == ()
+        assert registry.upgrade_chain("nosuch") == ()
 
     def test_cli_rejects_unknown_strategy(self):
         from repro.cli import main
