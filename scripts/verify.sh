@@ -32,6 +32,9 @@ fi
 echo "== paper-figure regression gate (Figures 5-10 vs BENCH_figures.json) =="
 python -m repro regress --quiet --out BENCH_figures.current.json
 
+echo "== weak-scaling gate (P=16..1024 vs BENCH_scale.json) =="
+python -m repro scale --quiet --out BENCH_scale.current.json
+
 echo "== compute/checkpoint overlap bench (BENCH_overlap.json) =="
 python -m repro overlap --out BENCH_overlap.json
 

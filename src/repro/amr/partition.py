@@ -9,6 +9,7 @@ versus irregular access patterns, the axis of the whole study.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -23,11 +24,13 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=None)
 def processor_grid(nprocs: int) -> tuple[int, int, int]:
-    """Factor ``nprocs`` into a near-cubic 3-D processor grid.
+    """Factor ``nprocs`` into a near-cubic 3-D processor grid (cached).
 
     Mirrors ``MPI_Dims_create``: dimensions as equal as possible, sorted
-    descending.
+    descending.  Cached: ``BlockPartition.pgrid`` hits this on every
+    ``coords_of``/``block_of`` and the divisor scan is O(nprocs).
     """
     if nprocs < 1:
         raise ValueError("nprocs must be >= 1")

@@ -25,8 +25,24 @@ from .runners import (
     run_checkpoint_experiment,
     run_traced_experiment,
 )
+from .scale import (
+    SCALE_MATRIX,
+    SCALE_TRENDS,
+    ScaleCell,
+    compare_scale,
+    load_scale_baseline,
+    run_scale_cell,
+    run_scale_matrix,
+    save_scale_baseline,
+    select_scale_cells,
+)
 from .utilization import device_utilization, format_utilization_report
-from .workloads import build_initial_workload, build_workload, workload_summary
+from .workloads import (
+    build_initial_workload,
+    build_scale_workload,
+    build_workload,
+    workload_summary,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -54,4 +70,15 @@ __all__ = [
     "select_cells",
     "load_baseline",
     "save_baseline",
+    # weak-scaling gate
+    "ScaleCell",
+    "SCALE_MATRIX",
+    "SCALE_TRENDS",
+    "build_scale_workload",
+    "run_scale_cell",
+    "run_scale_matrix",
+    "compare_scale",
+    "select_scale_cells",
+    "load_scale_baseline",
+    "save_scale_baseline",
 ]

@@ -1,0 +1,458 @@
+"""Weak-scaling sweeps past the paper's processor counts (``repro scale``).
+
+The paper measures P <= 64; this module pushes the same strategy stack to
+P in {16, 64, 128, 512, 1024} on synthetic weak-scaling workloads (per-rank
+data constant, see :func:`~repro.bench.workloads.build_scale_workload`) and
+pins the *scaling trends* -- shared-file collective I/O degrades gracefully
+while file-per-grid metadata cost explodes with P -- as a committed
+``BENCH_scale.json`` gate.
+
+Feasibility rests on the scale-mode fast paths, none of which are enabled
+on the pinned-digest figure cells:
+
+* ``batch_collectives=True`` -- collectives run through the rendezvous
+  engine (:mod:`repro.mpi.batch`): O(P) schedule crossings per collective
+  instead of O(P log P .. P^2) simulated messages;
+* ``strategy.batch_requests = True`` -- a grid file's array writes are
+  posted as one batched request (one schedule-point crossing);
+* hoisted state construction -- ``HierarchyMeta``, the block partition and
+  the owner map are computed once and shared by all ranks instead of being
+  rebuilt P times by ``RankState.from_hierarchy``.
+
+Scale cells pin exact request/byte counters and banded bandwidths, but no
+golden trace digests: a P=1024 event stream is large, and determinism is
+already enforced by the 37 figure cells.  Host wall-clock cost per
+simulated cell is recorded informationally (never compared -- it measures
+the host, not the model).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from ..amr.partition import BlockPartition
+from ..enzo.meta import HierarchyMeta
+from ..enzo.state import RankState, make_owner_map
+from ..mpi.runner import run_spmd
+from ..topology.presets import PRESETS
+from .baselines import Trend
+from .workloads import build_scale_workload
+
+__all__ = [
+    "SCALE_BASELINE_PATH",
+    "SCALE_MATRIX",
+    "SCALE_TRENDS",
+    "ScaleCell",
+    "build_scale_states",
+    "compare_scale",
+    "format_scale_report",
+    "load_scale_baseline",
+    "run_scale_cell",
+    "run_scale_matrix",
+    "save_scale_baseline",
+    "scale_chart",
+    "select_scale_cells",
+]
+
+SCALE_SCHEMA = 1
+SCALE_BASELINE_PATH = "BENCH_scale.json"
+
+#: Default relative tolerance for banded metrics.  Runs are deterministic,
+#: so the band only absorbs float formatting and cross-version arithmetic
+#: differences, not real variance.
+SCALE_RTOL = 0.05
+
+SCALE_PROCS = (16, 64, 128, 512, 1024)
+SCALE_STRATEGIES = ("mpi-io", "hdf4")
+SCALE_MACHINES = ("origin2000", "chiba_city")
+
+#: Exact-match per-cell metrics (deterministic counters of the run).
+EXACT_METRICS = (
+    "bytes_written",
+    "fs_write_requests",
+    "fs_files_created",
+    "fs_recoveries",
+    "cells",
+)
+
+#: Banded per-cell metrics (relative tolerance).
+BANDED_METRICS = ("write_bw", "write_s")
+
+
+@dataclass(frozen=True)
+class ScaleCell:
+    """One point of the weak-scaling sweep."""
+
+    machine: str
+    strategy: str
+    nprocs: int
+
+    @property
+    def id(self) -> str:
+        return f"{self.machine}:{self.strategy}:P{self.nprocs}"
+
+
+SCALE_MATRIX: tuple[ScaleCell, ...] = tuple(
+    ScaleCell(machine, strategy, nprocs)
+    for machine in SCALE_MACHINES
+    for strategy in SCALE_STRATEGIES
+    for nprocs in SCALE_PROCS
+)
+
+
+def _cid(machine: str, strategy: str, nprocs: int) -> str:
+    return ScaleCell(machine, strategy, nprocs).id
+
+
+def _scaling_trends() -> tuple[Trend, ...]:
+    """The pinned weak-scaling results, per machine.
+
+    ``P_hi``/``P_lo`` are the sweep's extremes; ratio trends compare how
+    each strategy's cost *grows* with P, which pins the paper's
+    architectural claim without pinning absolute bandwidths.
+    """
+    lo, hi = SCALE_PROCS[0], SCALE_PROCS[-1]
+    trends: list[Trend] = []
+    for m in SCALE_MACHINES:
+        trends.append(Trend(
+            id=f"scale-fpg-files-explode-{m}",
+            description=(
+                f"{m}: the file-per-grid namespace grows ~linearly with P "
+                f"while the shared-file strategy creates O(1) files "
+                f"(P={lo}->P={hi})"
+            ),
+            metric="fs_files_created",
+            left=_cid(m, "hdf4", hi), left_div=_cid(m, "hdf4", lo),
+            relation="gt",
+            right=_cid(m, "mpi-io", hi), right_div=_cid(m, "mpi-io", lo),
+        ))
+        trends.append(Trend(
+            id=f"scale-fpg-time-explodes-{m}",
+            description=(
+                f"{m}: file-per-grid dump time grows faster with P than "
+                f"the shared-file collective dump time (P={lo}->P={hi})"
+            ),
+            metric="write_s",
+            left=_cid(m, "hdf4", hi), left_div=_cid(m, "hdf4", lo),
+            relation="gt",
+            right=_cid(m, "mpi-io", hi), right_div=_cid(m, "mpi-io", lo),
+        ))
+        trends.append(Trend(
+            id=f"scale-collective-wins-at-{hi}-{m}",
+            description=(
+                f"{m}: at P={hi} the shared-file collective strategy "
+                f"sustains higher aggregate write bandwidth than "
+                f"file-per-grid"
+            ),
+            metric="write_bw",
+            left=_cid(m, "mpi-io", hi),
+            relation="gt",
+            right=_cid(m, "hdf4", hi),
+        ))
+        trends.append(Trend(
+            id=f"scale-collective-graceful-{m}",
+            description=(
+                f"{m}: shared-file collective bandwidth does not collapse "
+                f"under weak scaling (P={hi} sustains at least half the "
+                f"P={lo} aggregate bandwidth; file-per-grid falls below)"
+            ),
+            metric="write_bw",
+            left=_cid(m, "mpi-io", hi), left_div=_cid(m, "mpi-io", lo),
+            relation="gt",
+            right=_cid(m, "hdf4", hi), right_div=_cid(m, "hdf4", lo),
+        ))
+    return tuple(trends)
+
+
+SCALE_TRENDS: tuple[Trend, ...] = _scaling_trends()
+
+
+# -- running ------------------------------------------------------------------
+
+
+def build_scale_states(hierarchy, nprocs: int) -> list[RankState]:
+    """Every rank's :class:`RankState`, with the shared parts hoisted.
+
+    ``RankState.from_hierarchy`` rebuilds the hierarchy metadata and owner
+    map per rank -- O(P * grids) work that dwarfs the simulated I/O at
+    P=1024.  Here meta, partition and owner map are computed once and
+    shared (they are read-only during a dump), leaving only the per-rank
+    top-grid piece extraction.
+    """
+    meta = HierarchyMeta.from_hierarchy(hierarchy)
+    partition = BlockPartition(hierarchy.root.dims, nprocs)
+    owner = make_owner_map(meta, nprocs, policy="round_robin")
+    rank_subgrids: list[dict] = [{} for _ in range(nprocs)]
+    for gid in sorted(owner):
+        rank_subgrids[owner[gid]][gid] = hierarchy[gid]
+    root = hierarchy.root
+    return [
+        RankState(
+            rank=rank,
+            nprocs=nprocs,
+            meta=meta,
+            partition=partition,
+            top_piece=partition.extract(root, rank),
+            subgrids=rank_subgrids[rank],
+            owner=owner,
+        )
+        for rank in range(nprocs)
+    ]
+
+
+def _write_program(comm, states, strategy, base):
+    return strategy.write_checkpoint(comm, states[comm.rank], base)
+
+
+def run_scale_cell(cell: ScaleCell) -> dict:
+    """Execute one weak-scaling cell (write-only) and return its record."""
+    from ..iostack import registry
+
+    wall0 = time.perf_counter()
+    hierarchy = build_scale_workload(cell.nprocs)
+    states = build_scale_states(hierarchy, cell.nprocs)
+    machine = PRESETS[cell.machine](nprocs=cell.nprocs)
+    strategy = registry.create(cell.strategy)
+    strategy.batch_requests = True  # scale mode: batched per-grid requests
+    machine.reset_timing()
+    machine.fs.counters.reset()
+    res = run_spmd(
+        machine,
+        _write_program,
+        nprocs=cell.nprocs,
+        args=(states, strategy, "scale"),
+        batch_collectives=True,
+    )
+    write_s = max(s.elapsed for s in res.results)
+    counters = machine.fs.counters
+    cells = hierarchy.total_cells()
+    wall_s = time.perf_counter() - wall0
+    mb = 2**20
+    return {
+        "machine": cell.machine,
+        "strategy": cell.strategy,
+        "nprocs": cell.nprocs,
+        "cells": cells,
+        "write_s": round(float(write_s), 9),
+        "write_bw": round(counters.bytes_written / write_s / mb, 6),
+        "bytes_written": int(counters.bytes_written),
+        "fs_write_requests": int(counters.writes),
+        "fs_files_created": len(machine.fs.store.listdir()),
+        "fs_recoveries": int(counters.recoveries),
+        # Host cost, informational only (measures the machine running the
+        # simulator, not the simulated machine; never gate on it).
+        "wall_s": round(wall_s, 3),
+        "wall_us_per_cell": round(wall_s / cells * 1e6, 3),
+    }
+
+
+def run_scale_matrix(
+    cells: list[ScaleCell] | None = None, *, progress=None
+) -> dict:
+    """Run ``cells`` (default: the full sweep) and assemble the payload."""
+    cells = list(SCALE_MATRIX) if cells is None else cells
+    records: dict[str, dict] = {}
+    for cell in cells:
+        if progress:
+            progress(f"running {cell.id}")
+        records[cell.id] = run_scale_cell(cell)
+    trends = [
+        _evaluate_trend(t, records)
+        for t in SCALE_TRENDS
+        if all(c in records for c in t.cells)
+    ]
+    return {"schema": SCALE_SCHEMA, "rtol": SCALE_RTOL,
+            "cells": records, "trends": trends}
+
+
+def _evaluate_trend(t: Trend, records: dict) -> dict:
+    lhs = records[t.left][t.metric]
+    rhs = records[t.right][t.metric]
+    out = {
+        "id": t.id,
+        "description": t.description,
+        "metric": t.metric,
+        "left": t.left,
+        "relation": t.relation,
+        "right": t.right,
+    }
+    if t.left_div is not None:
+        lhs /= records[t.left_div][t.metric] or 1.0
+        out["left_div"] = t.left_div
+    if t.right_div is not None:
+        rhs /= records[t.right_div][t.metric] or 1.0
+        out["right_div"] = t.right_div
+    out["lhs"] = round(float(lhs), 6)
+    out["rhs"] = round(float(rhs), 6)
+    out["ok"] = t.holds(lhs, rhs)
+    return out
+
+
+def select_scale_cells(specs: list[str] | None) -> list[ScaleCell]:
+    """Cells matching ``MACHINE[:STRATEGY[:P]]`` specs (all when empty)."""
+    if not specs:
+        return list(SCALE_MATRIX)
+    out: list[ScaleCell] = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) > 3:
+            raise ValueError(f"bad --cell spec {spec!r} "
+                             "(want MACHINE[:STRATEGY[:P]])")
+        machine = parts[0]
+        strategy = parts[1] if len(parts) > 1 and parts[1] else None
+        nprocs = None
+        if len(parts) > 2 and parts[2]:
+            p = parts[2].lstrip("Pp")
+            if not p.isdigit():
+                raise ValueError(f"bad --cell spec {spec!r}: "
+                                 f"{parts[2]!r} is not a processor count")
+            nprocs = int(p)
+        matched = [
+            c for c in SCALE_MATRIX
+            if c.machine == machine
+            and (strategy is None or c.strategy == strategy)
+            and (nprocs is None or c.nprocs == nprocs)
+        ]
+        if not matched:
+            raise ValueError(f"--cell spec {spec!r} matches no scale cell")
+        out.extend(c for c in matched if c not in out)
+    return out
+
+
+# -- baseline artifact --------------------------------------------------------
+
+
+def load_scale_baseline(path: str = SCALE_BASELINE_PATH) -> dict:
+    with open(path) as f:
+        payload = json.load(f)
+    if not isinstance(payload, dict) or "cells" not in payload:
+        raise ValueError(f"{path} is not a scale baseline (no 'cells' key)")
+    return payload
+
+
+def save_scale_baseline(payload: dict, path: str = SCALE_BASELINE_PATH) -> None:
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+class ScaleReport:
+    """Outcome of one compare: violations plus coverage counts."""
+
+    def __init__(self, violations: list[dict], cells_checked: int,
+                 trends_checked: int):
+        self.violations = violations
+        self.cells_checked = cells_checked
+        self.trends_checked = trends_checked
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def compare_scale(current: dict, baseline: dict, *,
+                  rtol: float | None = None) -> ScaleReport:
+    """Compare a fresh sweep against the committed ``BENCH_scale.json``.
+
+    Same contract as the figure gate: only cells present in ``current``
+    are compared; a selected cell missing from the baseline is itself a
+    violation; trend assertions are evaluated against the live run.
+    """
+    rtol = baseline.get("rtol", SCALE_RTOL) if rtol is None else rtol
+    violations: list[dict] = []
+    base_cells = baseline.get("cells", {})
+    cur_cells = current.get("cells", {})
+    for cell_id, cur in sorted(cur_cells.items()):
+        base = base_cells.get(cell_id)
+        if base is None:
+            violations.append({
+                "cell": cell_id, "kind": "missing-cell", "metric": "-",
+                "current": "-", "baseline": "-",
+                "detail": "cell not in baseline (run --update-baseline)",
+            })
+            continue
+        for metric in EXACT_METRICS:
+            if cur[metric] != base[metric]:
+                violations.append({
+                    "cell": cell_id, "kind": "count", "metric": metric,
+                    "current": cur[metric], "baseline": base[metric],
+                    "detail": "exact-match counter changed",
+                })
+        for metric in BANDED_METRICS:
+            b, c = base[metric], cur[metric]
+            if b == 0 and c == 0:
+                continue
+            delta = (c - b) / (abs(b) or 1.0)
+            if abs(delta) > rtol:
+                violations.append({
+                    "cell": cell_id, "kind": "band", "metric": metric,
+                    "current": c, "baseline": b,
+                    "detail": f"{delta:+.1%} vs baseline (band ±{rtol:.0%})",
+                })
+    for trend in current.get("trends", []):
+        if not trend["ok"]:
+            violations.append({
+                "cell": f"{trend['left']} vs {trend['right']}",
+                "kind": "trend", "metric": trend["metric"],
+                "current": f"{trend['lhs']:.4g} {trend['relation']}? "
+                           f"{trend['rhs']:.4g}",
+                "baseline": "scaling law",
+                "detail": f"{trend['id']}: {trend['description']}",
+            })
+    return ScaleReport(
+        violations, len(cur_cells), len(current.get("trends", []))
+    )
+
+
+def format_scale_report(report: ScaleReport, *,
+                        title: str = "repro scale") -> str:
+    from ..core.report import format_table
+
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"{report.cells_checked} cells, {report.trends_checked} "
+        f"scaling-trend assertions checked"
+    )
+    if report.ok:
+        lines.append("gate: PASS (counters exact, bandwidth in band, "
+                     "all scaling trends hold)")
+        return "\n".join(lines)
+    lines.append(f"gate: FAIL ({len(report.violations)} violation(s))\n")
+    rows = [
+        [v["cell"], v["kind"], v["metric"], str(v["baseline"]),
+         str(v["current"]), v["detail"]]
+        for v in report.violations
+    ]
+    lines.append(format_table(
+        ["cell", "check", "metric", "baseline", "current", "why"], rows
+    ))
+    return "\n".join(lines)
+
+
+def scale_chart(records: dict) -> str:
+    """Aggregate write bandwidth vs processor count, per machine."""
+    from .figures import render_figure
+
+    out = []
+    for machine in SCALE_MACHINES:
+        series: dict[str, dict] = {}
+        for rec in records.values():
+            if rec["machine"] != machine:
+                continue
+            series.setdefault(rec["strategy"], {})[
+                f"P={rec['nprocs']}"
+            ] = rec["write_bw"]
+        if not series:
+            continue
+        out.append(render_figure(
+            f"weak scaling -- {machine} -- aggregate write bandwidth",
+            {k: dict(sorted(v.items(), key=lambda i: int(i[0][2:])))
+             for k, v in series.items()},
+            unit="MB/s",
+        ))
+    return "\n\n".join(out)

@@ -9,11 +9,16 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+import numpy as np
+
+from ..amr.grid import Grid
 from ..amr.hierarchy import GridHierarchy
 from ..amr.initial_conditions import make_initial_conditions
+from ..amr.particles import ParticleSet
+from ..amr.partition import BlockPartition, processor_grid
 from ..enzo.simulation import PROBLEM_SIZES
 
-__all__ = ["build_workload", "workload_summary"]
+__all__ = ["build_workload", "build_scale_workload", "workload_summary"]
 
 
 @lru_cache(maxsize=8)
@@ -67,6 +72,85 @@ def build_initial_workload(
             "max_box_cells": 32768,
         },
     )
+
+
+@lru_cache(maxsize=16)
+def build_scale_workload(
+    nprocs: int,
+    *,
+    cells_per_rank_axis: int = 8,
+    subgrid_cells: int = 8,
+    particles_per_rank: int = 8,
+) -> GridHierarchy:
+    """A weak-scaling checkpoint hierarchy: per-rank work is constant in P.
+
+    The root grid spans ``processor_grid(P) * cells_per_rank_axis`` cells,
+    so every rank's (Block, Block, Block) piece is exactly
+    ``cells_per_rank_axis^3`` cells at any P, and each rank owns one
+    level-1 subgrid of ``subgrid_cells^3`` cells refined inside its own
+    block.  All data is deterministic (index-derived fills, regularly
+    spaced particles) and cheap to build -- no random refinement pass --
+    which is what makes P=1024 hierarchies constructible in well under a
+    second.
+    """
+    pgrid = processor_grid(nprocs)
+    dims = tuple(p * cells_per_rank_axis for p in pgrid)
+    root = Grid.make_root(dims)
+    ncells = root.ncells
+    ramp = (np.arange(ncells, dtype=np.float64) % 997.0).reshape(dims)
+    for i, name in enumerate(root.fields.names):
+        root.fields[name] = ramp + float(i)
+    # A few root particles per rank, regularly spread over the whole
+    # domain so the irregular (position-based) partition stays exercised.
+    nroot_p = 4 * nprocs
+    frac = (np.arange(nroot_p, dtype=np.float64) + 0.5) / nroot_p
+    positions = np.column_stack([
+        frac,
+        (frac * 7.0) % 1.0,
+        (frac * 13.0) % 1.0,
+    ])
+    root.particles = ParticleSet(
+        ids=np.arange(nroot_p, dtype=np.int64),
+        positions=positions,
+        velocities=positions * 0.5 - 0.25,
+        mass=np.full(nroot_p, 1.0 / nroot_p),
+        attributes=np.column_stack([frac, 1.0 - frac]),
+    )
+    hierarchy = GridHierarchy(root)
+    part = BlockPartition(dims, nprocs)
+    cw = root.cell_width
+    refined_root_cells = subgrid_cells // 2  # level-1 refinement factor 2
+    base_id = nroot_p
+    for rank in range(nprocs):
+        starts, sizes = part.block_of(rank)
+        span = [min(refined_root_cells, s) for s in sizes]
+        left = root.left_edge + np.array(starts) * cw
+        right = left + np.array(span) * cw
+        sub = Grid(
+            id=rank + 1,
+            level=1,
+            dims=tuple(2 * s for s in span),
+            left_edge=left,
+            right_edge=right,
+            parent_id=root.id,
+        )
+        sramp = (
+            np.arange(sub.ncells, dtype=np.float64) % 251.0
+        ).reshape(sub.dims)
+        for i, name in enumerate(sub.fields.names):
+            sub.fields[name] = sramp * 0.5 + float(rank + i)
+        npart = particles_per_rank
+        sfrac = (np.arange(npart, dtype=np.float64) + 0.5) / npart
+        spos = left + (right - left) * np.column_stack([sfrac, sfrac, sfrac])
+        sub.particles = ParticleSet(
+            ids=base_id + rank * npart + np.arange(npart, dtype=np.int64),
+            positions=spos,
+            velocities=spos * 0.25,
+            mass=np.full(npart, float(rank + 1)),
+            attributes=np.column_stack([sfrac, sfrac * 2.0]),
+        )
+        hierarchy.add_grid(sub)
+    return hierarchy
 
 
 def workload_summary(hierarchy: GridHierarchy) -> dict:

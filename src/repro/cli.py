@@ -19,7 +19,11 @@ Commands:
   performance-regression gate: run the Figure 5-10 cell matrix, compare
   against the committed ``BENCH_figures.json`` baseline (golden trace
   digests, bandwidth bands, paper trend assertions); exit 0 = green,
-  1 = regression, 2 = usage error.
+  1 = regression, 2 = usage error;
+* ``scale``                      -- the weak-scaling gate past the paper's
+  processor counts: P in {16..1024} x strategy x machine, compared against
+  ``BENCH_scale.json`` (exact counters, banded bandwidths, pinned scaling
+  trends); same exit convention as ``regress``.
 
 Common options: ``--problem AMR16|AMR32|AMR64|AMR128`` and ``--procs N``.
 """
@@ -462,6 +466,82 @@ def cmd_regress(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_scale(args) -> int:
+    import json
+
+    from .bench import scale as sc
+
+    try:
+        cells = sc.select_scale_cells(args.cell)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.list_cells:
+        rows = [[c.id, c.machine, c.strategy, str(c.nprocs)] for c in cells]
+        print(f"repro scale: {len(cells)} cell(s)")
+        print(format_table(["cell", "machine", "strategy", "P"], rows))
+        return 0
+    progress = None if args.quiet else lambda msg: print(f"  {msg}")
+    if progress:
+        print(f"repro scale: {len(cells)} cell(s)")
+    current = sc.run_scale_matrix(cells, progress=progress)
+    if not args.quiet:
+        print(sc.scale_chart(current["cells"]))
+        print()
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        if progress:
+            print(f"wrote current results to {args.out}")
+
+    if args.update_baseline:
+        bad_trends = [t for t in current["trends"] if not t["ok"]]
+        payload = current
+        if args.cell:
+            # Subset update: merge into the existing baseline if present.
+            try:
+                payload = sc.load_scale_baseline(args.baseline)
+            except FileNotFoundError:
+                payload = {"schema": current["schema"],
+                           "rtol": current["rtol"], "cells": {}, "trends": []}
+            except (ValueError, OSError) as exc:
+                print(f"error: cannot merge into {args.baseline}: {exc}",
+                      file=sys.stderr)
+                return 2
+            payload["cells"].update(current["cells"])
+            kept = {t["id"]: t for t in payload.get("trends", [])}
+            kept.update({t["id"]: t for t in current["trends"]})
+            payload["trends"] = sorted(kept.values(), key=lambda t: t["id"])
+        sc.save_scale_baseline(payload, args.baseline)
+        print(f"baseline updated: {args.baseline} "
+              f"({len(payload['cells'])} cells, {len(payload['trends'])} trends)")
+        if bad_trends:
+            for t in bad_trends:
+                print(f"warning: scaling trend VIOLATED in new baseline: "
+                      f"{t['id']}: {t['description']}", file=sys.stderr)
+            print("refusing a green exit: fix the model or the matrix before "
+                  "committing this baseline", file=sys.stderr)
+            return 1
+        return 0
+
+    try:
+        baseline = sc.load_scale_baseline(args.baseline)
+    except FileNotFoundError:
+        print(f"error: no baseline at {args.baseline}; create one with "
+              f"'repro scale --update-baseline'", file=sys.stderr)
+        return 2
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot load baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = sc.compare_scale(current, baseline, rtol=args.rtol)
+    print(sc.format_scale_report(
+        report, title=f"repro scale vs {args.baseline}"
+    ))
+    return 0 if report.ok else 1
+
+
 def cmd_overlap(args) -> int:
     """Sync vs write-behind on each machine; writes BENCH_overlap.json."""
     from .bench.overlap import (
@@ -628,6 +708,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list the cells the --cell specs select (or the "
                         "whole matrix) without running anything")
 
+    sc = sub.add_parser(
+        "scale",
+        help="weak-scaling sweep P=16..1024 vs BENCH_scale.json (exit 0/1/2)",
+    )
+    sc.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from this run instead of "
+                         "comparing (review the diff before committing)")
+    sc.add_argument("--cell", action="append", default=None,
+                    metavar="MACHINE[:STRATEGY[:P]]",
+                    help="restrict to matching cells (repeatable), e.g. "
+                         "'origin2000:mpi-io:128' or 'chiba_city'")
+    sc.add_argument("--baseline", default="BENCH_scale.json", metavar="PATH",
+                    help="baseline artifact to compare against / update")
+    sc.add_argument("--rtol", type=float, default=None, metavar="FRAC",
+                    help="relative tolerance band for write_s/write_bw "
+                         "(default: the baseline's recorded rtol)")
+    sc.add_argument("--out", default=None, metavar="PATH",
+                    help="also write this run's results as JSON (CI artifact)")
+    sc.add_argument("--quiet", action="store_true",
+                    help="suppress per-cell progress lines and the chart")
+    sc.add_argument("--list-cells", action="store_true",
+                    help="list the cells the --cell specs select (or the "
+                         "whole matrix) without running anything")
+
     o = sub.add_parser(
         "overlap",
         help="compute/checkpoint overlap bench: sync vs write-behind "
@@ -670,6 +774,7 @@ def main(argv=None) -> int:
         "table": cmd_table,
         "strategies": cmd_strategies,
         "regress": cmd_regress,
+        "scale": cmd_scale,
         "overlap": cmd_overlap,
     }[args.command]
     try:

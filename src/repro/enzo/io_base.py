@@ -78,6 +78,9 @@ class IOStrategy(ABC):
     retry: RetryPolicy | None = None
     #: optional repro.aio.AioConfig; ``None`` = fully synchronous I/O
     aio = None
+    #: scale-mode: post a grid's array writes as one batched request
+    #: (one schedule-point crossing); never set on pinned-digest paths
+    batch_requests: bool = False
 
     @abstractmethod
     def write_checkpoint(

@@ -57,10 +57,17 @@ def parallel_sort_by_id(
     splitters = coll.bcast(comm, splitters, root=0)
 
     # Bucket my particles: bucket b gets ids in (splitters[b-1], splitters[b]].
-    buckets = np.searchsorted(splitters, local.ids, side="left")
-    outgoing = [local.select(buckets == b) for b in range(comm.size)]
-    incoming = coll.alltoall(comm, outgoing)
-    mine = ParticleSet.concat(incoming).sort_by_id()
+    from ..mpi import batch as _batch
+
+    if _batch.batch_enabled(comm):
+        # Scale mode: one rendezvous instead of a P x P bucket matrix
+        # (byte-identical result, see batch.particle_exchange).
+        mine = _batch.particle_exchange(comm, local, splitters).sort_by_id()
+    else:
+        buckets = np.searchsorted(splitters, local.ids, side="left")
+        outgoing = [local.select(buckets == b) for b in range(comm.size)]
+        incoming = coll.alltoall(comm, outgoing)
+        mine = ParticleSet.concat(incoming).sort_by_id()
 
     counts = coll.allgather(comm, len(mine))
     offset = sum(counts[: comm.rank])

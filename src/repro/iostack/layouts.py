@@ -64,7 +64,18 @@ class SharedFileLayoutPlanner:
         # must stay importable while the enzo package is mid-import.
         from ..enzo.layout import CheckpointLayout
 
-        return CheckpointLayout(meta)
+        # The layout is a pure function of the metadata, and building it is
+        # O(grids x arrays) -- memoize on the meta object so the weak-scaling
+        # runner (which shares one replicated meta across all ranks) plans
+        # once instead of P times.  Per-rank metas still plan independently.
+        cached = getattr(meta, "_shared_layout_cache", None)
+        if cached is None:
+            cached = CheckpointLayout(meta)
+            try:
+                meta._shared_layout_cache = cached
+            except (AttributeError, TypeError):  # frozen/slotted meta
+                pass
+        return cached
 
 
 class FilePerGridLayoutPlanner:

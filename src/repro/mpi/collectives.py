@@ -16,6 +16,7 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from . import batch as _batch
 from .comm import Comm
 
 __all__ = [
@@ -68,6 +69,8 @@ def _rrank(vrank: int, root: int, size: int) -> int:
 
 def barrier(comm: Comm) -> None:
     """Dissemination barrier: ceil(log2 P) rounds of pairwise messages."""
+    if _batch.batch_enabled(comm):
+        return _batch.barrier(comm)
     tag = comm._next_internal_tag()
     size, rank = comm.size, comm.rank
     if size == 1:
@@ -83,6 +86,8 @@ def barrier(comm: Comm) -> None:
 
 def bcast(comm: Comm, obj: Any, root: int = 0) -> Any:
     """Binomial-tree broadcast; returns the object on every rank."""
+    if _batch.batch_enabled(comm):
+        return _batch.bcast(comm, obj, root)
     tag = comm._next_internal_tag()
     size, rank = comm.size, comm.rank
     if size == 1:
@@ -107,6 +112,8 @@ def bcast(comm: Comm, obj: Any, root: int = 0) -> Any:
 
 def gather(comm: Comm, obj: Any, root: int = 0) -> Optional[list]:
     """Binomial-tree gather; root returns the list indexed by rank."""
+    if _batch.batch_enabled(comm):
+        return _batch.gather(comm, obj, root)
     tag = comm._next_internal_tag()
     size, rank = comm.size, comm.rank
     v = _vrank(rank, root, size)
@@ -137,6 +144,8 @@ def gatherv(comm: Comm, obj: Any, root: int = 0) -> Optional[list]:
 
 def scatter(comm: Comm, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
     """Binomial-tree scatter of ``objs`` (length ``size``, root only)."""
+    if _batch.batch_enabled(comm):
+        return _batch.scatter(comm, objs, root)
     tag = comm._next_internal_tag()
     size, rank = comm.size, comm.rank
     if rank == root:
@@ -174,6 +183,8 @@ def scatterv(comm: Comm, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
 
 def allgather(comm: Comm, obj: Any) -> list:
     """Ring allgather; every rank returns the list indexed by rank."""
+    if _batch.batch_enabled(comm):
+        return _batch.allgather(comm, obj)
     tag = comm._next_internal_tag()
     size, rank = comm.size, comm.rank
     out: list = [None] * size
@@ -190,6 +201,8 @@ def allgather(comm: Comm, obj: Any) -> list:
 
 def alltoall(comm: Comm, objs: Sequence[Any]) -> list:
     """Pairwise-exchange alltoall: ``objs[d]`` goes to rank ``d``."""
+    if _batch.batch_enabled(comm):
+        return _batch.alltoall(comm, objs)
     size, rank = comm.size, comm.rank
     if len(objs) != size:
         raise ValueError("alltoall needs one object per rank")
@@ -213,6 +226,8 @@ def reduce(
     comm: Comm, obj: Any, op: Callable[[Any, Any], Any] = SUM, root: int = 0
 ) -> Any:
     """Binomial-tree reduction to ``root`` (returns None elsewhere)."""
+    if _batch.batch_enabled(comm):
+        return _batch.reduce(comm, obj, op, root)
     tag = comm._next_internal_tag()
     size, rank = comm.size, comm.rank
     v = _vrank(rank, root, size)

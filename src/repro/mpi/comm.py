@@ -61,6 +61,26 @@ def _snapshot(obj: Any) -> Any:
     return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 
+def _wire_copy(obj: Any) -> tuple[int, Any]:
+    """``(payload_nbytes(obj), _snapshot(obj))`` in one serialization pass.
+
+    The generic-object path used to pickle twice (once for the wire size,
+    once for the snapshot); hot collective loops post thousands of small
+    pickled payloads, so the single pass matters.  Values are identical to
+    calling the two helpers separately.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes, obj.copy()
+    if isinstance(obj, (bytearray, memoryview)):
+        return len(obj), bytes(obj)
+    if isinstance(obj, bytes):
+        return len(obj), obj
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if isinstance(obj, (int, float, str, bool, type(None))):
+        return len(blob), obj
+    return len(blob), pickle.loads(blob)
+
+
 @dataclass
 class Message:
     """An in-flight or queued message."""
@@ -80,6 +100,11 @@ class MpiWorld:
     machine: Machine
     mailboxes: list[list[Message]] = field(default_factory=list)
     _seq: int = 0
+    #: When True, collectives use the batched rendezvous engine
+    #: (:mod:`repro.mpi.batch`) instead of per-message algorithms.
+    batch_collectives: bool = False
+    #: Open rendezvous, keyed by (ctx, kind, call seq); see repro.mpi.batch.
+    rendezvous: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.mailboxes:
@@ -162,7 +187,7 @@ class Comm:
         proc = self.proc
         world = self.world
         dest_world = self.group[dest]
-        nbytes = payload_nbytes(obj)
+        nbytes, payload = _wire_copy(obj)
         proc.schedule_point()
         net = world.machine.network
         src_node = world.machine.node_of(proc.rank)
@@ -171,7 +196,7 @@ class Comm:
         msg = Message(
             src=self.rank,
             tag=tag + self._ctx,
-            payload=_snapshot(obj),
+            payload=payload,
             arrival=arrival,
             seq=world.next_seq(),
         )

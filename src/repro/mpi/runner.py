@@ -39,11 +39,16 @@ def run_spmd(
     nprocs: int | None = None,
     args: Sequence[Any] = (),
     kwargs: dict | None = None,
+    batch_collectives: bool = False,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks of ``machine``.
 
     ``nprocs`` defaults to the machine's processor count and may not exceed
-    it.  Returns an :class:`SpmdResult`.
+    it.  ``batch_collectives=True`` routes collectives through the
+    rendezvous engine in :mod:`repro.mpi.batch` (O(P) schedule crossings
+    per collective, modeled timing) -- required for P >= several hundred,
+    never enabled on the pinned-digest regression paths.  Returns an
+    :class:`SpmdResult`.
     """
     nprocs = machine.nprocs if nprocs is None else nprocs
     if not 1 <= nprocs <= machine.nprocs:
@@ -51,7 +56,9 @@ def run_spmd(
             f"nprocs={nprocs} outside [1, {machine.nprocs}] for {machine.name}"
         )
     engine = Engine(nprocs)
-    world = MpiWorld(engine=engine, machine=machine)
+    world = MpiWorld(
+        engine=engine, machine=machine, batch_collectives=batch_collectives
+    )
 
     def main(proc, *a, **kw):
         comm = Comm(world, proc)

@@ -71,16 +71,18 @@ class ADIOFile:
 
     # -- retry engine -----------------------------------------------------
 
-    def _issue(self, issue, nbytes: int):
+    def _issue(self, issue, nbytes: int, *, sched: bool = True):
         """Run ``issue(ready_time) -> (result, done)`` with bounded retries.
 
         Retries only the file-system failure mode (``InjectedIOError``);
         programming errors propagate immediately.  Each retry advances the
         rank's clock by the policy's backoff, so recovery costs simulated
-        time like everything else.
+        time like everything else.  ``sched=False`` skips the schedule
+        point (the caller already crossed one for a batch of requests).
         """
         proc = self.comm.proc
-        proc.schedule_point()
+        if sched:
+            proc.schedule_point()
         policy = self.retry
         attempt = 0
         while True:
@@ -211,6 +213,36 @@ class ADIOFile:
             self._post_write(issue, len(buf))
             return len(buf)
         return self._issue(issue, len(buf))
+
+    def write_vector(self, ops) -> int:
+        """Issue N contiguous writes with ONE schedule-point crossing.
+
+        ``ops`` is a sequence of ``(offset, data)`` pairs.  The same bytes
+        land at the same offsets as N :meth:`write_contig` calls and each
+        request is chained through the retry engine individually, but the
+        rank crosses the scheduler once for the whole batch -- at scale, a
+        grid file's worth of array writes costs one context-switch round
+        instead of one per array.  Only used on scale-mode paths; the
+        pinned-digest strategies keep per-request scheduling.
+        """
+        self._check_open()
+        bufs = [(off, as_byte_view(data)) for off, data in ops]
+        total = sum(len(b) for _, b in bufs)
+        if self.aio is not None:
+            # The async path already costs only a staging memcpy per post.
+            for off, b in bufs:
+                self.write_contig(off, b)
+            return total
+        self.comm.proc.schedule_point()
+        for off, b in bufs:
+            def issue(ready_time, off=off, b=b):
+                done = self.fs.write(
+                    self.path, off, b, node=self._node, ready_time=ready_time
+                )
+                return len(b), done
+
+            self._issue(issue, len(b), sched=False)
+        return total
 
     def read_list(self, segments: list[tuple[int, int]]) -> bytes:
         """One list-I/O read request covering all ``segments``."""

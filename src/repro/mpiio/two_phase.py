@@ -29,21 +29,31 @@ __all__ = ["collective_write", "collective_read", "aggregator_ranks", "file_doma
 
 
 def aggregator_ranks(comm: Comm, hints: Hints) -> list[int]:
-    """Choose the aggregator ranks (ROMIO: one per compute node by default)."""
+    """Choose the aggregator ranks (ROMIO: one per compute node by default).
+
+    Cached on the communicator: the node scan is O(P) and every collective
+    on every rank needs the same answer.
+    """
+    cached = getattr(comm, "_agg_ranks_cache", None)
+    if cached is not None and cached[0] == hints.cb_nodes:
+        return cached[1]
     if hints.cb_nodes is not None and (
         hints.cb_nodes == 0 or hints.cb_nodes >= comm.size
     ):
-        return list(range(comm.size))
-    machine = comm.machine
-    per_node: dict[int, list[int]] = {}
-    for r in range(comm.size):
-        node = machine.node_of(comm.group[r])
-        per_node.setdefault(node, []).append(r)
-    k = hints.cb_nodes if hints.cb_nodes is not None else 1
-    aggs: list[int] = []
-    for node in sorted(per_node):
-        aggs.extend(per_node[node][:k])
-    return sorted(aggs)
+        aggs = list(range(comm.size))
+    else:
+        machine = comm.machine
+        per_node: dict[int, list[int]] = {}
+        for r in range(comm.size):
+            node = machine.node_of(comm.group[r])
+            per_node.setdefault(node, []).append(r)
+        k = hints.cb_nodes if hints.cb_nodes is not None else 1
+        aggs = []
+        for node in sorted(per_node):
+            aggs.extend(per_node[node][:k])
+        aggs.sort()
+    comm._agg_ranks_cache = (hints.cb_nodes, aggs)
+    return aggs
 
 
 def file_domains(
@@ -106,7 +116,17 @@ class _SegmentIndex:
 
 
 def _exchange_plan(comm: Comm, segments: list[tuple[int, int]], hints: Hints):
-    """Common setup for both directions of the two-phase exchange."""
+    """Common setup for both directions of the two-phase exchange.
+
+    Returns ``(aggs, my_domain, rounds, plan)`` where ``plan`` maps a
+    round number to ``[(agg_rank, pieces)]`` covering *my* segments --
+    precomputed in one O(segments) pass instead of intersecting every
+    (aggregator, round) window against the segment index (O(P * rounds)
+    probes per rank, the scaling wall at P >= 512).  ``my_domain`` is this
+    rank's file domain, or ``None`` when it is not an aggregator; the full
+    domain table is never materialised (it is O(P) per rank per collective
+    and derivable from the uniform stride).
+    """
     idx = _SegmentIndex(segments)
     my_lo = segments[0][0] if segments else None
     my_hi = segments[-1][0] + segments[-1][1] if segments else None
@@ -114,13 +134,61 @@ def _exchange_plan(comm: Comm, segments: list[tuple[int, int]], hints: Hints):
     los = [e[0] for e in extents if e[0] is not None]
     his = [e[1] for e in extents if e[1] is not None]
     if not los:
-        return idx, None, None, 0
+        return idx, None, None, 0, {}
     lo, hi = min(los), max(his)
     aggs = aggregator_ranks(comm, hints)
-    domains = file_domains(lo, hi, aggs, hints.cb_align)
-    max_domain = max((e - s) for s, e in domains.values())
-    rounds = max(1, -(-max_domain // hints.cb_buffer_size))
-    return idx, aggs, domains, rounds
+    # The domain tiling is uniform: file_domains strides [lo, hi) by the
+    # same (aligned) base, truncating only trailing domains -- so the first
+    # domain is the largest and any domain is pure arithmetic.
+    stride = -(-(hi - lo) // len(aggs))
+    if hints.cb_align > 1:
+        stride = -(-stride // hints.cb_align) * hints.cb_align
+    rounds = max(1, -(-min(stride, hi - lo) // hints.cb_buffer_size))
+    i = bisect.bisect_left(aggs, comm.rank)
+    if i < len(aggs) and aggs[i] == comm.rank:
+        dstart = min(lo + i * stride, hi)
+        my_domain = (dstart, min(dstart + stride, hi))
+    else:
+        my_domain = None
+    plan = _piece_plan(idx, lo, stride, aggs, hints.cb_buffer_size)
+    return idx, aggs, my_domain, rounds, plan
+
+
+def _piece_plan(
+    idx: _SegmentIndex, lo: int, stride: int, aggs: list[int], cb: int
+) -> dict[int, list[tuple[int, list[tuple[int, int, int]]]]]:
+    """Assign my segment pieces to their (round, aggregator) windows.
+
+    ``file_domains`` tiles ``[lo, hi)`` with a uniform ``stride`` (the last
+    domains may be truncated/empty), and each domain is processed in
+    ``cb``-byte rounds -- so a byte at file offset ``o`` belongs to domain
+    ``(o - lo) // stride`` and round ``(o - domain_start) // cb``, no
+    searching required.  Walking the segments once and cutting them at
+    domain and round boundaries yields, for every round, the same
+    ``(offset, length, data_position)`` pieces per aggregator that probing
+    ``idx.window`` over every window would -- in the same order, since
+    segments are sorted.
+    """
+    plan: dict[int, dict[int, list[tuple[int, int, int]]]] = {}
+    if idx.total == 0:
+        return {}
+    offs, lens, pos = idx.offs, idx.lens, idx.pos
+    for i in range(len(offs)):
+        a = offs[i]
+        end = a + lens[i]
+        p = pos[i]
+        while a < end:
+            di = (a - lo) // stride
+            dstart = lo + di * stride
+            r = (a - dstart) // cb
+            cut = min(dstart + (r + 1) * cb, dstart + stride, end)
+            plan.setdefault(r, {}).setdefault(di, []).append((a, cut - a, p))
+            p += cut - a
+            a = cut
+    return {
+        r: [(aggs[di], pieces) for di, pieces in sorted(by_dom.items())]
+        for r, by_dom in plan.items()
+    }
 
 
 def collective_write(
@@ -137,27 +205,19 @@ def collective_write(
     Collective over ``comm``: every rank must call, possibly with no data.
     """
     buf = as_byte_view(data)
-    idx, aggs, domains, rounds = _exchange_plan(comm, segments, hints)
+    idx, aggs, my_domain, rounds, plan = _exchange_plan(comm, segments, hints)
     if len(buf) != idx.total:
         raise ValueError(f"data has {len(buf)} bytes, segments need {idx.total}")
     if aggs is None:
         coll.barrier(comm)
         return
-    my_domain = domains.get(comm.rank)
-    cb = hints.cb_buffer_size
     for r in range(rounds):
         # Communication phase: ship my pieces of each aggregator's window.
         outbound = [None] * comm.size
-        for a in aggs:
-            dlo, dhi = domains[a]
-            wlo, whi = dlo + r * cb, min(dhi, dlo + (r + 1) * cb)
-            if wlo >= whi:
-                continue
-            pieces = idx.window(wlo, whi)
-            if pieces:
-                outbound[a] = [
-                    (off, bytes(buf[p : p + ln])) for off, ln, p in pieces
-                ]
+        for a, pieces in plan.get(r, ()):
+            outbound[a] = [
+                (off, bytes(buf[p : p + ln])) for off, ln, p in pieces
+            ]
         inbound = coll.alltoall(comm, outbound)
         # I/O phase: aggregators coalesce and write their window.
         if my_domain is not None:
@@ -209,24 +269,16 @@ def collective_read(
 
     Collective over ``comm``; ranks with no segments still participate.
     """
-    idx, aggs, domains, rounds = _exchange_plan(comm, segments, hints)
+    idx, aggs, my_domain, rounds, plan = _exchange_plan(comm, segments, hints)
     out = bytearray(idx.total)
     if aggs is None:
         coll.barrier(comm)
         return bytes(out)
-    my_domain = domains.get(comm.rank)
-    cb = hints.cb_buffer_size
     for r in range(rounds):
         # Phase 1: every rank tells each aggregator which pieces it needs.
         requests = [None] * comm.size
-        for a in aggs:
-            dlo, dhi = domains[a]
-            wlo, whi = dlo + r * cb, min(dhi, dlo + (r + 1) * cb)
-            if wlo >= whi:
-                continue
-            pieces = idx.window(wlo, whi)
-            if pieces:
-                requests[a] = [(off, ln) for off, ln, _ in pieces]
+        for a, pieces in plan.get(r, ()):
+            requests[a] = [(off, ln) for off, ln, _ in pieces]
         wanted = coll.alltoall(comm, requests)
         # Phase 2 (I/O): aggregators read the union of requested pieces in
         # one pass over their window (coalesced runs), then serve replies.
@@ -238,12 +290,7 @@ def collective_read(
                     replies[src] = [window_data[(off, ln)] for off, ln in req]
         answers = coll.alltoall(comm, replies)
         # Unpack what came back into my output buffer.
-        for a in aggs:
-            if requests[a] is None:
-                continue
-            dlo, dhi = domains[a]
-            wlo, whi = dlo + r * cb, min(dhi, dlo + (r + 1) * cb)
-            pieces = idx.window(wlo, whi)
+        for a, pieces in plan.get(r, ()):
             for (off, ln, pos), chunk in zip(pieces, answers[a]):
                 out[pos : pos + ln] = chunk
     coll.barrier(comm)

@@ -255,10 +255,19 @@ class StripedServerFS(FileSystem):
                 keys.append((path, stripe))
         return keys
 
-    def _token_penalty(
-        self, path: str, chunks: list[Chunk], node: int, ready: float,
-        layout: StripeLayout | None = None,
-    ) -> float:
+    def _contig_token_keys(self, path: str, offset: int, nbytes: int, layout):
+        """Token keys of one contiguous range, without materializing chunks.
+
+        A contiguous request touches each stripe exactly once and in
+        ascending order, so the keys are just the stripe span -- identical
+        to what :meth:`_token_keys` derives from the chunk walk.
+        """
+        if self.token_granularity == "file":
+            return ((path,),)
+        first, last = layout.stripe_span(offset, nbytes)
+        return ((path, s) for s in range(first, last + 1))
+
+    def _token_penalty(self, path: str, keys, node: int, ready: float) -> float:
         """GPFS write-token cost: revocations serialise at the token manager.
 
         Returns the time at which all needed tokens are held.  Ranges never
@@ -269,19 +278,17 @@ class StripedServerFS(FileSystem):
         if self.write_token_time == 0.0:
             return ready
         t = ready
-        for key in self._token_keys(path, chunks, layout or self.layout):
-            owner = self._stripe_owner.get(key)
+        owners = self._stripe_owner
+        for key in keys:
+            owner = owners.get(key)
             if owner != node:
                 if owner is not None:
                     self.token_revocations += 1
                     _, t = self.token_manager.serve(t, self.write_token_time)
-                self._stripe_owner[key] = node
+                owners[key] = node
         return t
 
-    def _read_token_penalty(
-        self, path: str, chunks: list[Chunk], node: int, ready: float,
-        layout: StripeLayout | None = None,
-    ) -> float:
+    def _read_token_penalty(self, path: str, keys, node: int, ready: float) -> float:
         """Reading data another node holds a write token for flushes it once.
 
         After the flush the range is shared (owner ``None``): subsequent
@@ -290,12 +297,13 @@ class StripedServerFS(FileSystem):
         if self.write_token_time == 0.0 or not self.tokens_on_read:
             return ready
         t = ready
-        for key in self._token_keys(path, chunks, layout or self.layout):
-            owner = self._stripe_owner.get(key)
+        owners = self._stripe_owner
+        for key in keys:
+            owner = owners.get(key)
             if owner is not None and owner != node:
                 self.token_revocations += 1
                 _, t = self.token_manager.serve(t, self.write_token_time)
-                self._stripe_owner[key] = None
+                owners[key] = None
         return t
 
     # -- timing model --------------------------------------------------------
@@ -317,18 +325,22 @@ class StripedServerFS(FileSystem):
             _, t = self._node_queue(smp_node).serve(t, self.smp_io_queue_time)
         t = self._channel(smp_node, t, nbytes)
         layout = self.layout_for(path)
-        chunks = layout.decompose(offset, nbytes)
-        t = self._token_penalty(path, chunks, smp_node, t, layout)
-        runs = coalesce_runs(chunks)
+        t = self._token_penalty(
+            path, self._contig_token_keys(path, offset, nbytes, layout), smp_node, t
+        )
+        # Closed-form per-server runs: O(servers touched), not O(stripes).
+        runs = layout.server_runs(offset, nbytes)
         egress, _, inv_bw = self._client_links(smp_node)
         completion = t
-        for run in runs:
+        servers = self.servers
+        for server, local_offset, size in runs:
             if egress is not None:
-                _, sent = egress.serve(t, run.size * inv_bw)
+                _, sent = egress.serve(t, size * inv_bw)
             else:
                 sent = t
-            srv = self.servers[run.server]
-            done = srv.serve_write(path, run.local_offset, run.size, sent + self.net_latency)
+            done = servers[server].serve_write(
+                path, local_offset, size, sent + self.net_latency
+            )
             completion = max(completion, done + self.net_latency)  # ack
         return completion
 
@@ -343,16 +355,19 @@ class StripedServerFS(FileSystem):
             _, t = self._node_queue(smp_node).serve(t, self.smp_io_queue_time)
         t = self._channel(smp_node, t, nbytes)
         layout = self.layout_for(path)
-        chunks = layout.decompose(offset, nbytes)
-        t = self._read_token_penalty(path, chunks, smp_node, t, layout)
-        runs = coalesce_runs(chunks)
+        t = self._read_token_penalty(
+            path, self._contig_token_keys(path, offset, nbytes, layout), smp_node, t
+        )
+        runs = layout.server_runs(offset, nbytes)
         _, ingress, inv_bw = self._client_links(smp_node)
         completion = t
-        for run in runs:
-            srv = self.servers[run.server]
-            on_wire = srv.serve_read(path, run.local_offset, run.size, t + self.net_latency)
+        servers = self.servers
+        for server, local_offset, size in runs:
+            on_wire = servers[server].serve_read(
+                path, local_offset, size, t + self.net_latency
+            )
             if ingress is not None:
-                _, arrived = ingress.serve(on_wire + self.net_latency, run.size * inv_bw)
+                _, arrived = ingress.serve(on_wire + self.net_latency, size * inv_bw)
             else:
                 arrived = on_wire + self.net_latency
             completion = max(completion, arrived)
@@ -377,9 +392,13 @@ class StripedServerFS(FileSystem):
             c for off, n in segments for c in layout.decompose(off, n)
         ]
         if op == "write":
-            t = self._token_penalty(path, chunks, smp_node, t, layout)
+            t = self._token_penalty(
+                path, self._token_keys(path, chunks, layout), smp_node, t
+            )
         else:
-            t = self._read_token_penalty(path, chunks, smp_node, t, layout)
+            t = self._read_token_penalty(
+                path, self._token_keys(path, chunks, layout), smp_node, t
+            )
         runs = coalesce_runs(sorted(chunks, key=lambda c: c.file_offset))
         egress, ingress, inv_bw = self._client_links(smp_node)
         # Group the list's runs per server: the server sees the whole batch

@@ -87,6 +87,46 @@ class StripeLayout:
             pos += size
         return chunks
 
+    def server_runs(self, offset: int, nbytes: int) -> list[tuple[int, int, int]]:
+        """Per-server coalesced ``(server, local_offset, size)`` runs.
+
+        Closed form for what ``coalesce_runs(decompose(offset, nbytes))``
+        computes by walking every stripe: within one contiguous request a
+        server's stripes are consecutive in its dense local store, so each
+        touched server contributes exactly one run.  Runs are returned in
+        first-touched-stripe order (the dict insertion order the chunk walk
+        produces), because the timing code books egress/disk/cache in that
+        order.  Cost is O(servers touched), not O(stripes).
+        """
+        if nbytes < 0:
+            raise ValueError("negative size")
+        if nbytes == 0:
+            return []
+        if offset < 0:
+            raise ValueError("negative offset")
+        ss = self.stripe_size
+        n = self.nservers
+        end = offset + nbytes
+        first = offset // ss
+        last = (end - 1) // ss
+        head = offset - first * ss  # bytes skipped in the first stripe
+        tail = (last + 1) * ss - end  # bytes unused in the last stripe
+        runs: list[tuple[int, int, int]] = []
+        for k in range(first, min(first + n, last + 1)):
+            m = (last - k) // n + 1  # stripes this server owns in-range
+            trim_head = head if k == first else 0
+            trim_tail = tail if k + (m - 1) * n == last else 0
+            runs.append((
+                k % n,
+                (k // n) * ss + trim_head,
+                m * ss - trim_head - trim_tail,
+            ))
+        return runs
+
+    def stripe_span(self, offset: int, nbytes: int) -> tuple[int, int]:
+        """``(first_stripe, last_stripe)`` of a non-empty byte range."""
+        return offset // self.stripe_size, (offset + nbytes - 1) // self.stripe_size
+
     def servers_touched(self, offset: int, nbytes: int) -> set[int]:
         """The set of servers a request lands on."""
         if nbytes <= 0:

@@ -167,8 +167,14 @@ class CheckpointManifest:
                 continue
             f = store.open(entry.path)
             crc = 0
-            for off, n in entry.segments:
-                crc = zlib.crc32(f.read(off, n), crc)
+            if hasattr(f, "checksum"):
+                # Zero-copy scan over the store's live buffer: no
+                # checkpoint-sized bytes objects materialized per entry.
+                for off, n in entry.segments:
+                    crc = f.checksum(off, n, crc)
+            else:  # pragma: no cover - non-BlockStore stores
+                for off, n in entry.segments:
+                    crc = zlib.crc32(f.read(off, n), crc)
             if crc != entry.checksum:
                 problems.append(
                     f"{entry.name}: checksum mismatch in {entry.path!r} "

@@ -26,6 +26,7 @@ exactly what the parallel-I/O stack above it needs.
 
 from __future__ import annotations
 
+import heapq
 import threading
 from dataclasses import dataclass, field
 from enum import Enum
@@ -112,6 +113,8 @@ class Proc:
             self.advance_to(at_time)
         if self.state is ProcState.BLOCKED:
             self.state = ProcState.READY
+        if self.state is ProcState.READY:
+            self.engine._push_ready(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Proc rank={self.rank} t={self.clock:.6f} {self.state.value}>"
@@ -129,6 +132,12 @@ class Engine:
         self._failure: Optional[RankFailedError] = None
         self._running = False
         self.context_switches = 0
+        # Min-heap of (clock, rank) candidates for the next READY rank.
+        # Entries are pushed on every transition to READY and invalidated
+        # lazily: an entry is live only while its rank is still READY at
+        # exactly that clock.  Stale entries (rank moved on, clock changed)
+        # are pruned at peek time; value-equal duplicates are harmless.
+        self._ready: list[tuple[float, int]] = []
 
     # -- public API --------------------------------------------------------
 
@@ -148,20 +157,37 @@ class Engine:
             raise NotRunningError("engine is already running")
         kwargs = kwargs or {}
         self._running = True
+        self._ready.clear()
         threads = []
-        for proc in self.procs:
-            proc.state = ProcState.READY
-            t = threading.Thread(
-                target=self._thread_main,
-                args=(proc, fn, args, kwargs),
-                name=f"sim-rank-{proc.rank}",
-                daemon=True,
-            )
-            threads.append(t)
-        # Start every thread; each immediately parks on its event, except the
-        # one we hand the baton to.
-        for t in threads:
-            t.start()
+        # At hundreds of ranks the default (often 8 MiB) thread stacks add
+        # up; the simulation call depth is shallow, so a small stack keeps
+        # P=1024 runs cheap.  Restored after thread creation.
+        old_stack = None
+        if self.nprocs >= 256:
+            try:
+                old_stack = threading.stack_size()
+                threading.stack_size(512 * 1024)
+            except (ValueError, RuntimeError):
+                old_stack = None
+        try:
+            for proc in self.procs:
+                proc.state = ProcState.READY
+                self._push_ready(proc)
+                t = threading.Thread(
+                    target=self._thread_main,
+                    args=(proc, fn, args, kwargs),
+                    name=f"sim-rank-{proc.rank}",
+                    daemon=True,
+                )
+                threads.append(t)
+            # Start every thread; each immediately parks on its event,
+            # except the one we hand the baton to.  The stack-size setting
+            # is consumed at start() time, so it stays in force until here.
+            for t in threads:
+                t.start()
+        finally:
+            if old_stack is not None:
+                threading.stack_size(old_stack)
         self.procs[0]._go.set()
         for t in threads:
             t.join()
@@ -205,15 +231,28 @@ class Engine:
 
     # -- scheduler internals -------------------------------------------------
 
+    def _push_ready(self, proc: Proc) -> None:
+        """Record ``proc`` as a candidate at its current clock."""
+        heapq.heappush(self._ready, (proc.clock, proc.rank))
+
     def _runnable(self, exclude: Proc) -> Optional[Proc]:
-        """The READY rank with minimal ``(clock, rank)``, or ``None``."""
-        best = None
-        for p in self.procs:
-            if p is exclude or p.state is not ProcState.READY:
-                continue
-            if best is None or (p.clock, p.rank) < (best.clock, best.rank):
-                best = p
-        return best
+        """The READY rank with minimal ``(clock, rank)``, or ``None``.
+
+        Pops stale heap entries (rank no longer READY, or READY at a
+        different clock) until the head is live.  Every transition to
+        READY pushes a fresh entry, so a READY rank always has at least
+        one live entry; callers are never READY themselves, so
+        ``exclude`` needs no special handling beyond the state check.
+        """
+        heap = self._ready
+        procs = self.procs
+        while heap:
+            clock, rank = heap[0]
+            p = procs[rank]
+            if p.state is ProcState.READY and p.clock == clock and p is not exclude:
+                return p
+            heapq.heappop(heap)
+        return None
 
     def _schedule_point(self, proc: Proc) -> None:
         while True:
@@ -248,6 +287,8 @@ class Engine:
         """Transfer the execution baton from ``from_proc`` to ``to_proc``."""
         self.context_switches += 1
         from_proc.state = new_state
+        if new_state is ProcState.READY:
+            self._push_ready(from_proc)
         to_proc.state = ProcState.RUNNING
         to_proc._go.set()
         from_proc._go.wait()

@@ -267,3 +267,63 @@ def test_property_collective_write_equals_concatenation(sizes, cb):
     expect = np.concatenate([r for r in res.results]) if sum(sizes) else b""
     got = m.fs.store.open("f").read(0, int(offsets[-1]))
     assert got == (expect.tobytes() if sum(sizes) else b"")
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    naggs=st.integers(1, 9),
+    cb=st.integers(1, 64),
+    align=st.sampled_from([0, 1, 8, 64]),
+    glo=st.integers(0, 100),
+    gaps=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 40)),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_property_piece_plan_matches_window_probing(naggs, cb, align, glo, gaps):
+    """The O(segments) piece plan equals probing every (agg, round) window.
+
+    The plan replaced the per-window ``_SegmentIndex.window`` probes on the
+    collective read/write hot path; this pins their equivalence over random
+    segment lists, domain counts, alignments, and buffer sizes -- including
+    a global extent wider than this rank's own segments.
+    """
+    from repro.mpiio.two_phase import _piece_plan, _SegmentIndex, file_domains
+
+    # Random sorted disjoint segments for "my rank", starting at or after
+    # the global lower bound (some other rank may own [glo, first)).
+    segments = []
+    pos = glo + gaps[0][0]
+    for gap, length in gaps:
+        pos += gap
+        segments.append((pos, length))
+        pos += length
+    ghi = pos + 17  # another rank extends the global extent past mine
+    idx = _SegmentIndex(segments)
+    aggs = list(range(naggs))
+    domains = file_domains(glo, ghi, aggs, align)
+    stride = -(-(ghi - glo) // naggs)
+    if align > 1:
+        stride = -(-stride // align) * align
+    max_domain = max(e - s for s, e in domains.values())
+    rounds = max(1, -(-max_domain // cb))
+    plan = _piece_plan(idx, glo, stride, aggs, cb)
+
+    reference: dict[int, list[tuple[int, list]]] = {}
+    for r in range(rounds):
+        for a in aggs:
+            dlo, dhi = domains[a]
+            wlo, whi = dlo + r * cb, min(dhi, dlo + (r + 1) * cb)
+            if wlo >= whi:
+                continue
+            pieces = idx.window(wlo, whi)
+            if pieces:
+                reference.setdefault(r, []).append((a, pieces))
+    assert plan == reference
+    total = sum(
+        size for per_round in plan.values()
+        for _, pieces in per_round
+        for _, size, _ in pieces
+    )
+    assert total == sum(length for _, length in segments)

@@ -143,3 +143,80 @@ def test_property_read_is_pure(offset, size, data):
     second = f.read(offset, size)
     assert first == second
     assert len(first) == size
+
+
+PAGE = 64
+
+
+def _page_model_write(pages: dict[int, bytearray], offset: int, data: bytes):
+    """Reference model: a dict of fixed-size zero-default pages."""
+    for i, byte in enumerate(data):
+        pos = offset + i
+        page = pages.setdefault(pos // PAGE, bytearray(PAGE))
+        page[pos % PAGE] = byte
+
+
+def _page_model_read(pages: dict[int, bytearray], offset: int, nbytes: int):
+    out = bytearray(nbytes)
+    for i in range(nbytes):
+        pos = offset + i
+        page = pages.get(pos // PAGE)
+        if page is not None:
+            out[i] = page[pos % PAGE]
+    return bytes(out)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("w"), st.integers(0, 5000),
+                      st.binary(min_size=1, max_size=300)),
+            st.tuples(st.just("r"), st.integers(0, 6000),
+                      st.integers(0, 400)),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_property_sparse_file_matches_page_model(ops):
+    """Interleaved sparse writes/reads agree with a dict-of-pages model.
+
+    Far-apart offsets leave holes that the geometric-growth resize must
+    zero-fill exactly once; every read (inside data, across holes, past
+    EOF) must match the page model byte for byte.
+    """
+    f = StoredFile("p")
+    pages: dict[int, bytearray] = {}
+    size = 0
+    for op in ops:
+        if op[0] == "w":
+            _, offset, data = op
+            f.write(offset, data)
+            _page_model_write(pages, offset, data)
+            size = max(size, offset + len(data))
+        else:
+            _, offset, nbytes = op
+            expected = _page_model_read(pages, offset, nbytes)
+            # Reads past EOF return zeros in both models.
+            assert f.read(offset, nbytes) == expected
+        assert f.size == size
+    # Full-file readback including every hole.
+    assert f.read(0, size) == _page_model_read(pages, 0, size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    first=st.integers(0, 100),
+    jump=st.integers(1000, 100_000),
+    data=st.binary(min_size=1, max_size=64),
+)
+def test_property_far_jump_growth_zero_fills_the_hole(first, jump, data):
+    """A write far past EOF grows once and the whole gap reads as zeros."""
+    f = StoredFile("p")
+    f.write(first, b"x")
+    f.write(first + jump, data)
+    assert f.size == first + jump + len(data)
+    gap = f.read(first + 1, jump - 1)
+    assert gap == b"\0" * (jump - 1)
+    assert f.read(first + jump, len(data)) == data

@@ -136,3 +136,54 @@ def test_property_coalesced_runs_conserve_bytes(stripe, nservers, offset, nbytes
     # request at most one run per touched server.
     assert len(runs) <= len(lay.decompose(offset, nbytes))
     assert len(runs) <= max(1, len(lay.servers_touched(offset, nbytes)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    stripe=st.integers(1, 48),
+    nservers=st.integers(1, 8),
+    offset=st.integers(0, 2048),
+    nbytes=st.integers(1, 1024),
+)
+def test_property_server_runs_match_per_byte_map(stripe, nservers, offset, nbytes):
+    """The vectorized segment table reconstructs the naive per-byte mapping.
+
+    Ground truth: every byte of the request individually mapped through
+    ``server_of``/``local_offset``.  Expanding each ``server_runs`` run to
+    its (server, local_offset) byte addresses must reproduce that map
+    exactly -- same multiset of addresses, and within each server the same
+    contiguous span.
+    """
+    lay = StripeLayout(stripe_size=stripe, nservers=nservers)
+    naive: dict[int, set[int]] = {}
+    for o in range(offset, offset + nbytes):
+        naive.setdefault(lay.server_of(o), set()).add(lay.local_offset(o))
+    runs = lay.server_runs(offset, nbytes)
+    expanded: dict[int, set[int]] = {}
+    for server, local, size in runs:
+        span = set(range(local, local + size))
+        # One run per server for a contiguous request; no overlap possible.
+        assert server not in expanded
+        expanded[server] = span
+    assert expanded == naive
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    stripe=st.integers(1, 48),
+    nservers=st.integers(1, 8),
+    offset=st.integers(0, 2048),
+    nbytes=st.integers(0, 1024),
+)
+def test_property_server_runs_equal_coalesced_decompose(
+    stripe, nservers, offset, nbytes
+):
+    """Closed form == the stripe-walking reference, including run order."""
+    lay = StripeLayout(stripe_size=stripe, nservers=nservers)
+    closed = lay.server_runs(offset, nbytes)
+    walked = [
+        (r.server, r.local_offset, r.size)
+        for r in coalesce_runs(lay.decompose(offset, nbytes))
+    ]
+    assert closed == walked
+    assert sum(size for _, _, size in closed) == nbytes
