@@ -38,6 +38,12 @@ python -m repro scale --quiet --out BENCH_scale.current.json
 echo "== compute/checkpoint overlap bench (BENCH_overlap.json) =="
 python -m repro overlap --out BENCH_overlap.json
 
+echo "== insights smoke matrix (executor) =="
+python -m repro bench insights --quiet
+
+echo "== executor telemetry (10 slowest cells this run) =="
+python -m repro bench timings --top 10
+
 echo "== crash-consistency acceptance scenario =="
 python -m repro simulate --problem AMR16 --procs 4 --cycles 1 \
     --inject write:torn:run --retries 2

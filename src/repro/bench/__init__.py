@@ -1,5 +1,7 @@
-"""Benchmark harness: workload builders, experiment runners, and the
-paper-figure regression gate (``repro.bench.regression``)."""
+"""Benchmark harness: workload builders, experiment runners, the
+paper-figure regression gate (``repro.bench.regression``), and the
+parallel cell executor with its content-addressed cache
+(``repro.bench.executor`` / ``repro.bench.cellcache``)."""
 
 from .baselines import (
     DEFAULT_RTOL,
@@ -11,6 +13,9 @@ from .baselines import (
     save_baseline,
     select_cells,
 )
+from .cellcache import CellCache
+from .cellrunner import GateReport, get_family
+from .executor import default_jobs, resolve_jobs, run_cells
 from .figures import render_bars, render_figure
 from .regression import (
     RegressionReport,
@@ -36,6 +41,7 @@ from .scale import (
     save_scale_baseline,
     select_scale_cells,
 )
+from .timings import Telemetry, format_timings, load_timings, save_timings
 from .utilization import device_utilization, format_utilization_report
 from .workloads import (
     build_initial_workload,
@@ -81,4 +87,15 @@ __all__ = [
     "select_scale_cells",
     "load_scale_baseline",
     "save_scale_baseline",
+    # parallel executor, cache, telemetry
+    "CellCache",
+    "GateReport",
+    "Telemetry",
+    "default_jobs",
+    "format_timings",
+    "get_family",
+    "load_timings",
+    "resolve_jobs",
+    "run_cells",
+    "save_timings",
 ]

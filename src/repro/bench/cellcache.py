@@ -1,0 +1,192 @@
+"""Content-addressed cell-result cache for the bench executor.
+
+Every bench cell is a pure function of its spec (see
+:mod:`repro.bench.cellrunner`), so its canonical record can be cached and
+replayed byte-for-byte.  The cache key is a SHA-256 over
+
+* the **canonical cell spec** (family name + the family's JSON spec,
+  including per-cell overrides like ``--perturb`` hints),
+* the **source-tree digest** -- SHA-256 over the relative path and
+  content hash of every ``.py`` file under the installed ``repro``
+  package, so *any* source change (simulator, strategies, presets,
+  bench code itself) invalidates every entry at once, and
+* the **environment fingerprint** (python and numpy versions -- float
+  formatting and ufunc details can legitimately differ across them).
+
+A hit replays the cached record with no simulation; the gate still
+compares it against the committed baseline, so a warm rerun is
+near-instant but never less honest than a cold one.  A corrupt or
+truncated entry is treated as a miss (counted in :attr:`CellCache.corrupt`
+and removed), never as a silent green.
+
+Entries live under ``.repro-cache/`` by default (override with
+``REPRO_CACHE_DIR``; disable entirely with ``REPRO_CACHE=0`` or the
+CLI ``--no-cache`` flag).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from functools import lru_cache
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+    "DEFAULT_CACHE_DIR",
+    "CellCache",
+    "cache_enabled",
+    "environment_fingerprint",
+    "source_tree_digest",
+]
+
+CACHE_ENV = "REPRO_CACHE"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+ENTRY_SCHEMA = 1
+
+
+def cache_enabled(env: dict | None = None) -> bool:
+    """False when ``REPRO_CACHE`` is set to an off value (0/no/off/false)."""
+    env = os.environ if env is None else env
+    return env.get(CACHE_ENV, "1").strip().lower() not in (
+        "0", "no", "off", "false",
+    )
+
+
+@lru_cache(maxsize=8)
+def source_tree_digest(root: str | None = None) -> str:
+    """SHA-256 of the repro source tree (every ``.py`` under ``root``).
+
+    ``root`` defaults to the installed package directory, so the digest
+    covers the simulator, the strategies, the presets and the bench code
+    itself -- the full closure a cell record can depend on.  Cached per
+    process: the tree cannot change under a running gate.
+    """
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    h = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            with open(path, "rb") as f:
+                content = hashlib.sha256(f.read()).hexdigest()
+            h.update(rel.encode())
+            h.update(b"\0")
+            h.update(content.encode())
+            h.update(b"\0")
+    return f"sha256:{h.hexdigest()}"
+
+
+def environment_fingerprint() -> str:
+    import numpy
+
+    py = ".".join(str(v) for v in sys.version_info[:3])
+    return f"python={py};numpy={numpy.__version__}"
+
+
+class CellCache:
+    """Content-addressed store of canonical cell records (JSON files).
+
+    One file per key under ``root``; writes are atomic (temp file +
+    ``os.replace``) so a crashed run can truncate at worst its in-flight
+    entry, and a truncated entry reads as a miss.
+    """
+
+    def __init__(self, root: str | None = None, *,
+                 tree_digest: str | None = None,
+                 env_fingerprint: str | None = None):
+        self.root = root or os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.tree_digest = tree_digest or source_tree_digest()
+        self.env_fingerprint = env_fingerprint or environment_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    @classmethod
+    def from_env(cls, *, disabled: bool = False) -> "CellCache | None":
+        """The default cache, or ``None`` when caching is switched off."""
+        if disabled or not cache_enabled():
+            return None
+        return cls()
+
+    def key(self, family: str, spec: dict) -> str:
+        """The content address of one cell under the current tree/env."""
+        canonical = json.dumps(
+            {
+                "family": family,
+                "spec": spec,
+                "tree": self.tree_digest,
+                "env": self.env_fingerprint,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> dict | None:
+        """The cached record for ``key``, or ``None`` on miss/corruption.
+
+        Anything structurally wrong -- unparseable JSON, a key mismatch
+        (content moved under a renamed file), a missing record -- drops
+        the entry and reports a miss, so the caller always falls back to
+        a live run.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as f:
+                entry = json.load(f)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, OSError):
+            entry = None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != ENTRY_SCHEMA
+            or entry.get("key") != key
+            or not isinstance(entry.get("record"), dict)
+        ):
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return entry["record"]
+
+    def put(self, key: str, cell_id: str, record: dict) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "key": key,
+            "cell": cell_id,
+            "record": record,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(entry, f, indent=1, sort_keys=True)
+                f.write("\n")
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

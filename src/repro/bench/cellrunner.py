@@ -1,0 +1,266 @@
+"""The shared cell-runner layer under every bench matrix.
+
+A *cell* is one pure experiment: a picklable spec (which machine, which
+strategy, how many processors, ...) that deterministically maps to one
+canonical JSON record.  The regress, scale, overlap and insights matrices
+all reduce to the same shape -- iterate specs, run each into a record,
+evaluate trend assertions over the records, diff against a committed
+baseline -- so the shared machinery lives here once instead of being
+copied per matrix (it used to be triplicated across ``regression.py``,
+``scale.py`` and ``overlap.py``):
+
+* :class:`CellFamily` -- the registration record binding a family name to
+  its run/id/spec functions.  The name is the *wire format*: the process
+  pool in :mod:`repro.bench.executor` ships ``(family_name, cell)`` to a
+  worker, which resolves the family by name and runs the cell there.
+* :func:`evaluate_trend` -- one trend assertion against live records.
+* :func:`compare_records` / :class:`GateReport` /
+  :func:`format_gate_report` -- the baseline diff (exact counters, banded
+  metrics, optional golden digest, trend violations) and its table.
+
+Determinism contract: a cell's record is a function of its spec alone --
+simulated clocks, seeded workloads and golden digests guarantee that
+*where* or *when* a cell runs (serial, process pool, cache replay) cannot
+change a single byte of its record.  Everything the executor and the
+content-addressed cache do rests on that property, and the test suite
+asserts it (parallel == serial byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.report import format_table
+
+__all__ = [
+    "CellFamily",
+    "GateReport",
+    "compare_records",
+    "evaluate_trend",
+    "format_gate_report",
+    "get_family",
+    "register_family",
+]
+
+
+@dataclass(frozen=True)
+class CellFamily:
+    """One bench matrix's cell protocol, registered under a stable name.
+
+    ``run(cell, extra)`` must be a *pure* function of its arguments: it
+    builds its own machine and file system from presets and returns the
+    canonical record dict.  ``extra`` carries per-cell overrides (e.g. the
+    regress family's ``--perturb`` hints) and is part of the cache key via
+    ``spec``.
+    """
+
+    name: str
+    #: (cell, extra) -> canonical record dict; must be picklable-safe in
+    #: the sense that it is resolved by family *name* inside workers.
+    run: Callable
+    #: cell -> stable string id (the record key in payloads and reports).
+    cell_id: Callable
+    #: (cell, extra) -> JSON-serializable canonical spec (cache identity).
+    spec: Callable
+    #: cell -> one-line human description for progress output.
+    describe: Callable
+
+
+#: Families register themselves at import; workers resolve lazily by name
+#: so the executor never pickles callables across the process boundary.
+_FAMILIES: dict[str, CellFamily] = {}
+
+_FAMILY_MODULES = {
+    "regress": "repro.bench.regression",
+    "scale": "repro.bench.scale",
+    "overlap": "repro.bench.overlap",
+    "insights": "repro.bench.insights_smoke",
+}
+
+
+def register_family(family: CellFamily) -> CellFamily:
+    _FAMILIES[family.name] = family
+    return family
+
+
+def get_family(name: str) -> CellFamily:
+    """Resolve a family by name, importing its module on first use."""
+    if name not in _FAMILIES:
+        module = _FAMILY_MODULES.get(name)
+        if module is None:
+            raise ValueError(
+                f"unknown cell family {name!r} "
+                f"(have: {', '.join(sorted(_FAMILY_MODULES))})"
+            )
+        importlib.import_module(module)
+    return _FAMILIES[name]
+
+
+# -- trend evaluation ---------------------------------------------------------
+
+
+def evaluate_trend(t, records: dict) -> dict:
+    """One trend against live records; ratio trends divide each side."""
+    lhs = records[t.left][t.metric]
+    rhs = records[t.right][t.metric]
+    out = {
+        "id": t.id,
+        "description": t.description,
+        "metric": t.metric,
+        "left": t.left,
+        "relation": t.relation,
+        "right": t.right,
+    }
+    if t.left_div is not None:
+        lhs /= records[t.left_div][t.metric] or 1.0
+        out["left_div"] = t.left_div
+    if t.right_div is not None:
+        rhs /= records[t.right_div][t.metric] or 1.0
+        out["right_div"] = t.right_div
+    out["lhs"] = round(float(lhs), 6)
+    out["rhs"] = round(float(rhs), 6)
+    out["ok"] = t.holds(lhs, rhs)
+    return out
+
+
+# -- baseline comparison ------------------------------------------------------
+
+
+class GateReport:
+    """The outcome of one compare: violations plus coverage counts."""
+
+    def __init__(self, violations: list[dict], cells_checked: int,
+                 trends_checked: int):
+        self.violations = violations
+        self.cells_checked = cells_checked
+        self.trends_checked = trends_checked
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _band_violation(cell_id, metric, cur, base, rtol):
+    if base == 0 and cur == 0:
+        return None
+    denom = abs(base) if base else 1.0
+    delta = (cur - base) / denom
+    if abs(delta) <= rtol:
+        return None
+    return {
+        "cell": cell_id,
+        "kind": "band",
+        "metric": metric,
+        "current": cur,
+        "baseline": base,
+        "detail": f"{delta:+.1%} vs baseline (band ±{rtol:.0%})",
+    }
+
+
+def compare_records(
+    current: dict,
+    baseline: dict,
+    *,
+    exact_metrics: tuple,
+    banded_metrics: tuple,
+    default_rtol: float,
+    rtol: float | None = None,
+    digest_metric: str | None = None,
+    trend_baseline: str = "paper",
+) -> GateReport:
+    """Compare a fresh run against a committed baseline payload.
+
+    Only cells present in ``current`` are compared (so ``--cell`` subsets
+    check their slice of the baseline); a selected cell missing from the
+    baseline is itself a violation -- the gate must never silently skip.
+    Trend assertions are taken from ``current`` (they were evaluated
+    against live numbers by the matrix runner).  ``digest_metric`` names
+    the golden-digest field when the family pins one.
+    """
+    rtol = baseline.get("rtol", default_rtol) if rtol is None else rtol
+    violations: list[dict] = []
+    base_cells = baseline.get("cells", {})
+    cur_cells = current.get("cells", {})
+    for cell_id, cur in sorted(cur_cells.items()):
+        base = base_cells.get(cell_id)
+        if base is None:
+            violations.append({
+                "cell": cell_id, "kind": "missing-cell", "metric": "-",
+                "current": "-", "baseline": "-",
+                "detail": "cell not in baseline (run --update-baseline)",
+            })
+            continue
+        if digest_metric and cur[digest_metric] != base[digest_metric]:
+            violations.append({
+                "cell": cell_id, "kind": "digest", "metric": digest_metric,
+                "current": cur[digest_metric][:18] + "...",
+                "baseline": base[digest_metric][:18] + "...",
+                "detail": "golden trace diverged (determinism/behaviour change)",
+            })
+        for metric in banded_metrics:
+            v = _band_violation(cell_id, metric, cur[metric], base[metric], rtol)
+            if v:
+                violations.append(v)
+        for metric in exact_metrics:
+            if cur[metric] != base[metric]:
+                violations.append({
+                    "cell": cell_id, "kind": "count", "metric": metric,
+                    "current": cur[metric], "baseline": base[metric],
+                    "detail": "exact-match counter changed",
+                })
+    for trend in current.get("trends", []):
+        if not trend["ok"]:
+            lhs = trend.get("lhs")
+            if lhs is None:  # payloads from before ratio trends
+                lhs = cur_cells[trend["left"]][trend["metric"]]
+            rhs = trend.get("rhs")
+            if rhs is None:
+                rhs = cur_cells[trend["right"]][trend["metric"]]
+            violations.append({
+                "cell": f"{trend['left']} vs {trend['right']}",
+                "kind": "trend", "metric": trend["metric"],
+                "current": f"{lhs:.4g} {trend['relation']}? {rhs:.4g}",
+                "baseline": trend_baseline,
+                "detail": f"{trend['id']}: {trend['description']}",
+            })
+    return GateReport(
+        violations, len(cur_cells), len(current.get("trends", []))
+    )
+
+
+def format_gate_report(
+    report: GateReport,
+    *,
+    title: str,
+    pass_detail: str,
+    trend_noun: str = "paper-trend",
+) -> str:
+    """Readable gate outcome: a per-cell diff table naming each violation."""
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"{report.cells_checked} cells, {report.trends_checked} {trend_noun} "
+        f"assertions checked"
+    )
+    if report.ok:
+        lines.append(f"gate: PASS ({pass_detail})")
+        return "\n".join(lines)
+    lines.append(f"gate: FAIL ({len(report.violations)} violation(s))\n")
+    rows = [
+        [
+            v["cell"],
+            v["kind"],
+            v["metric"],
+            str(v["baseline"]),
+            str(v["current"]),
+            v["detail"],
+        ]
+        for v in report.violations
+    ]
+    lines.append(
+        format_table(
+            ["cell", "check", "metric", "baseline", "current", "why"], rows
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""The insights smoke matrix (``repro bench insights``).
+
+A small executor-driven cell set that traces one checkpoint dump per
+strategy and runs the Drishti-style detector rules over it -- the "does
+the diagnosis engine still see what it should" smoke that verify.sh used
+to get only from the pytest suite.  Each cell's record is deterministic
+(rule ids fired with severities, event count, golden trace digest), so
+the cells cache and parallelise exactly like the regress/scale cells.
+
+The gate is structural, not baselined: a cell that raises fails the run,
+and :func:`check_smoke` asserts the one qualitative invariant the paper's
+whole optimisation story rests on -- the serial HDF4 strategy must
+diagnose strictly worse (more HIGH findings) than tuned MPI-IO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..topology.presets import PRESETS
+from .cellrunner import CellFamily, register_family
+from .runners import run_traced_experiment
+from .workloads import build_workload
+
+__all__ = [
+    "INSIGHTS_MATRIX",
+    "InsightsCell",
+    "check_smoke",
+    "run_insights_cell",
+    "run_insights_matrix",
+]
+
+
+@dataclass(frozen=True)
+class InsightsCell:
+    """One smoke cell: dump with ``strategy``, diagnose the trace."""
+
+    strategy: str
+    machine: str = "origin2000"
+    problem: str = "AMR16"
+    nprocs: int = 4
+
+    @property
+    def id(self) -> str:
+        return f"insights:{self.strategy}:{self.nprocs}"
+
+
+INSIGHTS_MATRIX: tuple[InsightsCell, ...] = tuple(
+    InsightsCell(strategy)
+    for strategy in ("hdf4", "mpi-io", "hdf5", "hdf5-aligned")
+)
+
+
+def run_insights_cell(cell: InsightsCell) -> dict:
+    """Trace one dump, diagnose it, reduce to a canonical record."""
+    from ..insights import Severity, diagnose
+    from ..iostack import registry
+
+    machine = PRESETS[cell.machine](nprocs=cell.nprocs)
+    strategy = registry.create(cell.strategy)
+    _result, trace = run_traced_experiment(
+        machine,
+        strategy,
+        build_workload(cell.problem),
+        nprocs=cell.nprocs,
+        do_read=False,
+    )
+    diagnosis = diagnose(trace, nprocs=cell.nprocs, strategy=cell.strategy)
+    findings = sorted(
+        {
+            (i.rule, i.severity.name)
+            for i in diagnosis.insights
+            if i.severity is not Severity.OK
+        }
+    )
+    return {
+        "strategy": cell.strategy,
+        "machine": cell.machine,
+        "problem": cell.problem,
+        "nprocs": cell.nprocs,
+        "findings": [{"rule": rule, "severity": sev} for rule, sev in findings],
+        "high": diagnosis.count(Severity.HIGH),
+        "warn": diagnosis.count(Severity.WARN),
+        "trace_events": len(trace),
+        "trace_digest": trace.digest(),
+    }
+
+
+def run_insights_matrix(
+    cells: list[InsightsCell] | None = None,
+    *,
+    jobs: int = 1,
+    cache=None,
+    telemetry=None,
+    progress=None,
+) -> dict[str, dict]:
+    from .executor import run_cells
+
+    cells = list(INSIGHTS_MATRIX) if cells is None else cells
+    return run_cells("insights", cells, jobs=jobs, cache=cache,
+                     telemetry=telemetry, progress=progress)
+
+
+def check_smoke(records: dict[str, dict]) -> list[str]:
+    """Structural invariants over a finished smoke run; returns problems."""
+    problems = []
+    by_strategy = {r["strategy"]: r for r in records.values()}
+    hdf4, mpiio = by_strategy.get("hdf4"), by_strategy.get("mpi-io")
+    if hdf4 and mpiio and hdf4["high"] <= mpiio["high"]:
+        problems.append(
+            "the serial hdf4 dump should diagnose worse than mpi-io "
+            f"(HIGH findings: hdf4 {hdf4['high']} <= mpi-io {mpiio['high']})"
+        )
+    for rec in records.values():
+        if not rec["findings"]:
+            problems.append(
+                f"{rec['strategy']}: no detector rule fired at all "
+                "(the diagnosis engine is blind)"
+            )
+    return problems
+
+
+def _family_run(cell: InsightsCell, extra: dict) -> dict:
+    return run_insights_cell(cell)
+
+
+register_family(CellFamily(
+    name="insights",
+    run=_family_run,
+    cell_id=lambda c: c.id,
+    spec=lambda c, extra: asdict(c),
+    describe=lambda c: f"{c.id} ({c.machine}, {c.problem})",
+))

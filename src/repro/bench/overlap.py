@@ -7,14 +7,21 @@ bandwidth each variant observed.  The committed artifact is
 ``BENCH_overlap.json``; the bench fails (exit 1 through the CLI) if any
 pair's speedup is not strictly above 1.0, so "async stopped helping" is
 a gated regression just like a paper-trend inversion.
+
+Each (machine, sync, async, problem, nprocs, ncycles) pair is one
+executor cell (:class:`OverlapPair`): it runs both sides back to back
+and reduces to the canonical comparison dict, so the bench fans out and
+caches through :func:`repro.bench.executor.run_cells` like every other
+matrix.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..topology.presets import PRESETS
+from .cellrunner import CellFamily, register_family
 from .runners import OverlapResult, run_overlap_experiment
 
 __all__ = [
@@ -22,7 +29,9 @@ __all__ = [
     "OVERLAP_SCHEMA",
     "DEFAULT_PAIRS",
     "OverlapComparison",
+    "OverlapPair",
     "run_overlap_bench",
+    "run_overlap_pair",
     "check_trends",
     "save_overlap",
 ]
@@ -37,6 +46,22 @@ DEFAULT_PAIRS = (
     ("chiba_city", "mpi-io", "mpi-io-async", "AMR32"),
     ("chiba_city_local", "mpi-io", "mpi-io-async", "AMR64"),
 )
+
+
+@dataclass(frozen=True)
+class OverlapPair:
+    """One executor cell: sync vs async on one machine/workload."""
+
+    machine: str
+    sync: str
+    async_: str
+    problem: str
+    nprocs: int = 8
+    ncycles: int = 3
+
+    @property
+    def id(self) -> str:
+        return f"overlap:{self.machine}:{self.async_}:P{self.nprocs}"
 
 
 @dataclass
@@ -89,48 +114,60 @@ class OverlapComparison:
         }
 
 
+def run_overlap_pair(pair: OverlapPair) -> dict:
+    """Run one pair's sync and async sides; return the comparison dict."""
+    from ..enzo.simulation import EnzoConfig
+    from ..iostack import registry
+
+    runs = {}
+    for name, overlap in ((pair.sync, False), (pair.async_, True)):
+        machine = PRESETS[pair.machine](nprocs=pair.nprocs)
+        config = EnzoConfig(
+            problem=pair.problem, ncycles=pair.ncycles, dump_every=1,
+            overlap=overlap,
+        )
+        runs[name] = run_overlap_experiment(
+            machine, registry.create(name), config, nprocs=pair.nprocs
+        )
+    return OverlapComparison(
+        machine=pair.machine,
+        problem=pair.problem,
+        nprocs=pair.nprocs,
+        ncycles=pair.ncycles,
+        sync=runs[pair.sync],
+        async_=runs[pair.async_],
+    ).to_dict()
+
+
 def run_overlap_bench(
     pairs=DEFAULT_PAIRS,
     *,
     nprocs: int = 8,
     ncycles: int = 3,
     progress=None,
-) -> list[OverlapComparison]:
-    """Run every (machine, sync, async, problem) pair and compare."""
-    from ..enzo.simulation import EnzoConfig
-    from ..iostack import registry
+    jobs: int = 1,
+    cache=None,
+    telemetry=None,
+) -> list[dict]:
+    """Run every (machine, sync, async, problem) pair and compare.
 
-    out = []
-    for machine_name, sync_name, async_name, problem in pairs:
-        if progress:
-            progress(
-                f"{machine_name}/{problem} P={nprocs}: "
-                f"{sync_name} vs {async_name}"
-            )
-        runs = {}
-        for name, overlap in ((sync_name, False), (async_name, True)):
-            machine = PRESETS[machine_name](nprocs=nprocs)
-            config = EnzoConfig(
-                problem=problem, ncycles=ncycles, dump_every=1,
-                overlap=overlap,
-            )
-            runs[name] = run_overlap_experiment(
-                machine, registry.create(name), config, nprocs=nprocs
-            )
-        out.append(
-            OverlapComparison(
-                machine=machine_name,
-                problem=problem,
-                nprocs=nprocs,
-                ncycles=ncycles,
-                sync=runs[sync_name],
-                async_=runs[async_name],
-            )
-        )
-    return out
+    Returns the canonical comparison dicts in ``pairs`` order (the shape
+    committed to ``BENCH_overlap.json``), regardless of how the executor
+    scheduled them.
+    """
+    from .executor import run_cells
+
+    cells = [
+        OverlapPair(machine, sync, async_, problem,
+                    nprocs=nprocs, ncycles=ncycles)
+        for machine, sync, async_, problem in pairs
+    ]
+    records = run_cells("overlap", cells, jobs=jobs, cache=cache,
+                        telemetry=telemetry, progress=progress)
+    return [records[cell.id] for cell in cells]
 
 
-def check_trends(comparisons: list[OverlapComparison]) -> list[str]:
+def check_trends(runs: list[dict]) -> list[str]:
     """Paper-trend assertions over a finished bench; returns violations.
 
     Beyond the per-pair ``speedup > 1.0`` gate, the paper's claim that the
@@ -141,28 +178,45 @@ def check_trends(comparisons: list[OverlapComparison]) -> list[str]:
     sync cells, a different denominator).
     """
     problems = []
-    by_machine = {c.machine: c for c in comparisons}
+    by_machine = {r["machine"]: r for r in runs}
     pvfs = by_machine.get("chiba_city_local")
     if pvfs is not None and len(by_machine) > 1:
-        best = max(comparisons, key=lambda c: c.bw_speedup)
-        if best.machine != "chiba_city_local":
+        best = max(runs, key=lambda r: r["bw_speedup"])
+        if best["machine"] != "chiba_city_local":
             problems.append(
                 "effective-bandwidth win should be largest on "
-                f"chiba_city_local (PVFS/fast-Ethernet), but {best.machine} "
-                f"wins ({best.bw_speedup:.2f}x vs {pvfs.bw_speedup:.2f}x)"
+                "chiba_city_local (PVFS/fast-Ethernet), but "
+                f"{best['machine']} wins ({best['bw_speedup']:.2f}x vs "
+                f"{pvfs['bw_speedup']:.2f}x)"
             )
     return problems
 
 
-def save_overlap(
-    comparisons: list[OverlapComparison], path: str = OVERLAP_PATH
-) -> dict:
+def save_overlap(runs: list[dict], path: str = OVERLAP_PATH) -> dict:
     """Write the bench artifact; returns the payload written."""
     payload = {
         "schema": OVERLAP_SCHEMA,
-        "runs": [c.to_dict() for c in comparisons],
+        "runs": list(runs),
     }
     with open(path, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
     return payload
+
+
+# -- executor family ----------------------------------------------------------
+
+
+def _family_run(pair: OverlapPair, extra: dict) -> dict:
+    return run_overlap_pair(pair)
+
+
+register_family(CellFamily(
+    name="overlap",
+    run=_family_run,
+    cell_id=lambda p: p.id,
+    spec=lambda p, extra: asdict(p),
+    describe=lambda p: (
+        f"{p.machine}/{p.problem} P={p.nprocs}: {p.sync} vs {p.async_}"
+    ),
+))

@@ -24,9 +24,10 @@ corrupt baseline, unknown cell, malformed perturbation).
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 import numpy as np
 
-from ..core.report import format_table
 from ..core.trace import trace_filesystem
 from ..mpi.datatypes import FLOAT64, Subarray
 from ..mpi.runner import run_spmd
@@ -39,6 +40,14 @@ from .baselines import (
     MATRIX,
     TRENDS,
     Cell,
+)
+from .cellrunner import (
+    CellFamily,
+    GateReport,
+    compare_records,
+    evaluate_trend,
+    format_gate_report,
+    register_family,
 )
 from .runners import run_overlap_experiment, run_traced_experiment
 from .workloads import build_initial_workload, build_workload
@@ -267,54 +276,34 @@ def run_matrix(
     *,
     perturb: dict[str, dict] | None = None,
     progress=None,
+    jobs: int = 1,
+    cache=None,
+    telemetry=None,
 ) -> dict:
     """Run ``cells`` (default: the full matrix) and assemble the payload.
 
     Returns a baseline-shaped dict (``schema``/``cells``/``trends``) ready
     to be compared or committed.  ``perturb`` maps cell ids to hint-field
     overrides (e.g. ``{"fig6:mpi-io:8": {"cb_buffer_size": 2 * 2**20}}``).
+    ``jobs``/``cache``/``telemetry`` are threaded to the executor
+    (:func:`repro.bench.executor.run_cells`); the default is the serial,
+    uncached in-process path, so library callers see unchanged behaviour.
     """
+    from .executor import run_cells
+
     cells = list(MATRIX) if cells is None else cells
     perturb = perturb or {}
-    records: dict[str, dict] = {}
-    for cell in cells:
-        if progress:
-            progress(f"running {cell.id} ({cell.machine}, {cell.problem})")
-        hints = None
-        if cell.id in perturb:
-            hints = Hints(**perturb[cell.id])
-        records[cell.id] = run_cell(cell, hints=hints)
+    extras = {cell_id: {"hints": dict(fields)}
+              for cell_id, fields in perturb.items()}
+    records = run_cells("regress", cells, extras=extras, jobs=jobs,
+                        cache=cache, telemetry=telemetry, progress=progress)
     trends = [
-        _evaluate_trend(t, records)
+        evaluate_trend(t, records)
         for t in TRENDS
         if all(c in records for c in t.cells)
     ]
     return {"schema": BASELINE_SCHEMA, "rtol": DEFAULT_RTOL,
             "cells": records, "trends": trends}
-
-
-def _evaluate_trend(t, records: dict) -> dict:
-    """One trend against live records; ratio trends divide each side."""
-    lhs = records[t.left][t.metric]
-    rhs = records[t.right][t.metric]
-    out = {
-        "id": t.id,
-        "description": t.description,
-        "metric": t.metric,
-        "left": t.left,
-        "relation": t.relation,
-        "right": t.right,
-    }
-    if t.left_div is not None:
-        lhs /= records[t.left_div][t.metric] or 1.0
-        out["left_div"] = t.left_div
-    if t.right_div is not None:
-        rhs /= records[t.right_div][t.metric] or 1.0
-        out["right_div"] = t.right_div
-    out["lhs"] = round(float(lhs), 6)
-    out["rhs"] = round(float(rhs), 6)
-    out["ok"] = t.holds(lhs, rhs)
-    return out
 
 
 def parse_perturbations(specs: list[str] | None) -> dict[str, dict]:
@@ -340,42 +329,14 @@ def parse_perturbations(specs: list[str] | None) -> dict[str, dict]:
     return out
 
 
-# -- comparison ---------------------------------------------------------------
+# -- comparison (shared engine in repro.bench.cellrunner) ---------------------
 
-
-class RegressionReport:
-    """The outcome of one compare: violations plus coverage counts."""
-
-    def __init__(self, violations: list[dict], cells_checked: int,
-                 trends_checked: int):
-        self.violations = violations
-        self.cells_checked = cells_checked
-        self.trends_checked = trends_checked
-
-    @property
-    def ok(self) -> bool:
-        return not self.violations
-
-
-def _band_violation(cell_id, metric, cur, base, rtol):
-    if base == 0 and cur == 0:
-        return None
-    denom = abs(base) if base else 1.0
-    delta = (cur - base) / denom
-    if abs(delta) <= rtol:
-        return None
-    return {
-        "cell": cell_id,
-        "kind": "band",
-        "metric": metric,
-        "current": cur,
-        "baseline": base,
-        "detail": f"{delta:+.1%} vs baseline (band ±{rtol:.0%})",
-    }
+#: Kept as the public name of this gate's report type.
+RegressionReport = GateReport
 
 
 def compare(current: dict, baseline: dict, *, rtol: float | None = None
-            ) -> RegressionReport:
+            ) -> GateReport:
     """Compare a fresh run against the committed baseline.
 
     Only cells present in ``current`` are compared (so ``--cell`` subsets
@@ -384,84 +345,40 @@ def compare(current: dict, baseline: dict, *, rtol: float | None = None
     Trend assertions are taken from ``current`` (they were evaluated
     against live numbers by :func:`run_matrix`).
     """
-    rtol = baseline.get("rtol", DEFAULT_RTOL) if rtol is None else rtol
-    violations: list[dict] = []
-    base_cells = baseline.get("cells", {})
-    cur_cells = current.get("cells", {})
-    for cell_id, cur in sorted(cur_cells.items()):
-        base = base_cells.get(cell_id)
-        if base is None:
-            violations.append({
-                "cell": cell_id, "kind": "missing-cell", "metric": "-",
-                "current": "-", "baseline": "-",
-                "detail": "cell not in baseline (run --update-baseline)",
-            })
-            continue
-        if cur["trace_digest"] != base["trace_digest"]:
-            violations.append({
-                "cell": cell_id, "kind": "digest", "metric": "trace_digest",
-                "current": cur["trace_digest"][:18] + "...",
-                "baseline": base["trace_digest"][:18] + "...",
-                "detail": "golden trace diverged (determinism/behaviour change)",
-            })
-        for metric in BANDED_METRICS:
-            v = _band_violation(cell_id, metric, cur[metric], base[metric], rtol)
-            if v:
-                violations.append(v)
-        for metric in EXACT_METRICS:
-            if cur[metric] != base[metric]:
-                violations.append({
-                    "cell": cell_id, "kind": "count", "metric": metric,
-                    "current": cur[metric], "baseline": base[metric],
-                    "detail": "exact-match counter changed",
-                })
-    for trend in current.get("trends", []):
-        if not trend["ok"]:
-            lhs = trend.get("lhs")
-            if lhs is None:  # payloads from before ratio trends
-                lhs = cur_cells[trend["left"]][trend["metric"]]
-            rhs = trend.get("rhs")
-            if rhs is None:
-                rhs = cur_cells[trend["right"]][trend["metric"]]
-            violations.append({
-                "cell": f"{trend['left']} vs {trend['right']}",
-                "kind": "trend", "metric": trend["metric"],
-                "current": f"{lhs:.4g} {trend['relation']}? {rhs:.4g}",
-                "baseline": "paper",
-                "detail": f"{trend['id']}: {trend['description']}",
-            })
-    return RegressionReport(
-        violations, len(cur_cells), len(current.get("trends", []))
+    return compare_records(
+        current,
+        baseline,
+        exact_metrics=EXACT_METRICS,
+        banded_metrics=BANDED_METRICS,
+        default_rtol=DEFAULT_RTOL,
+        rtol=rtol,
+        digest_metric="trace_digest",
+        trend_baseline="paper",
     )
 
 
-def format_report(report: RegressionReport, *, title: str = "repro regress"
-                  ) -> str:
+def format_report(report: GateReport, *, title: str = "repro regress") -> str:
     """Readable gate outcome: a per-cell diff table naming each violation."""
-    lines = [title, "=" * len(title)]
-    lines.append(
-        f"{report.cells_checked} cells, {report.trends_checked} paper-trend "
-        f"assertions checked"
+    return format_gate_report(
+        report,
+        title=title,
+        pass_detail="digests exact, bandwidth in band, all paper trends hold",
+        trend_noun="paper-trend",
     )
-    if report.ok:
-        lines.append("gate: PASS (digests exact, bandwidth in band, "
-                     "all paper trends hold)")
-        return "\n".join(lines)
-    lines.append(f"gate: FAIL ({len(report.violations)} violation(s))\n")
-    rows = [
-        [
-            v["cell"],
-            v["kind"],
-            v["metric"],
-            str(v["baseline"]),
-            str(v["current"]),
-            v["detail"],
-        ]
-        for v in report.violations
-    ]
-    lines.append(
-        format_table(
-            ["cell", "check", "metric", "baseline", "current", "why"], rows
-        )
-    )
-    return "\n".join(lines)
+
+
+# -- executor family ----------------------------------------------------------
+
+
+def _family_run(cell: Cell, extra: dict) -> dict:
+    hints = Hints(**extra["hints"]) if extra.get("hints") else None
+    return run_cell(cell, hints=hints)
+
+
+register_family(CellFamily(
+    name="regress",
+    run=_family_run,
+    cell_id=lambda c: c.id,
+    spec=lambda c, extra: dict(asdict(c), hints=extra.get("hints")),
+    describe=lambda c: f"{c.id} ({c.machine}, {c.problem})",
+))

@@ -21,16 +21,17 @@ on the pinned-digest figure cells:
 
 Scale cells pin exact request/byte counters and banded bandwidths, but no
 golden trace digests: a P=1024 event stream is large, and determinism is
-already enforced by the 37 figure cells.  Host wall-clock cost per
-simulated cell is recorded informationally (never compared -- it measures
-the host, not the model).
+already enforced by the 37 figure cells.  Host wall-clock cost per cell
+is recorded by the executor's telemetry (``BENCH_timings.json``), never
+in the records themselves -- it measures the host, not the model, and
+keeping it out of the records is what makes them byte-identical across
+serial, parallel and cache-replay execution.
 """
 
 from __future__ import annotations
 
 import json
-import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..amr.partition import BlockPartition
 from ..enzo.meta import HierarchyMeta
@@ -38,6 +39,14 @@ from ..enzo.state import RankState, make_owner_map
 from ..mpi.runner import run_spmd
 from ..topology.presets import PRESETS
 from .baselines import Trend
+from .cellrunner import (
+    CellFamily,
+    GateReport,
+    compare_records,
+    evaluate_trend,
+    format_gate_report,
+    register_family,
+)
 from .workloads import build_scale_workload
 
 __all__ = [
@@ -210,7 +219,6 @@ def run_scale_cell(cell: ScaleCell) -> dict:
     """Execute one weak-scaling cell (write-only) and return its record."""
     from ..iostack import registry
 
-    wall0 = time.perf_counter()
     hierarchy = build_scale_workload(cell.nprocs)
     states = build_scale_states(hierarchy, cell.nprocs)
     machine = PRESETS[cell.machine](nprocs=cell.nprocs)
@@ -227,67 +235,45 @@ def run_scale_cell(cell: ScaleCell) -> dict:
     )
     write_s = max(s.elapsed for s in res.results)
     counters = machine.fs.counters
-    cells = hierarchy.total_cells()
-    wall_s = time.perf_counter() - wall0
-    mb = 2**20
     return {
         "machine": cell.machine,
         "strategy": cell.strategy,
         "nprocs": cell.nprocs,
-        "cells": cells,
+        "cells": hierarchy.total_cells(),
         "write_s": round(float(write_s), 9),
-        "write_bw": round(counters.bytes_written / write_s / mb, 6),
+        "write_bw": round(counters.bytes_written / write_s / 2**20, 6),
         "bytes_written": int(counters.bytes_written),
         "fs_write_requests": int(counters.writes),
         "fs_files_created": len(machine.fs.store.listdir()),
         "fs_recoveries": int(counters.recoveries),
-        # Host cost, informational only (measures the machine running the
-        # simulator, not the simulated machine; never gate on it).
-        "wall_s": round(wall_s, 3),
-        "wall_us_per_cell": round(wall_s / cells * 1e6, 3),
     }
 
 
 def run_scale_matrix(
-    cells: list[ScaleCell] | None = None, *, progress=None
+    cells: list[ScaleCell] | None = None,
+    *,
+    progress=None,
+    jobs: int = 1,
+    cache=None,
+    telemetry=None,
 ) -> dict:
-    """Run ``cells`` (default: the full sweep) and assemble the payload."""
+    """Run ``cells`` (default: the full sweep) and assemble the payload.
+
+    ``jobs``/``cache``/``telemetry`` are threaded to the executor; the
+    default is the serial, uncached in-process path.
+    """
+    from .executor import run_cells
+
     cells = list(SCALE_MATRIX) if cells is None else cells
-    records: dict[str, dict] = {}
-    for cell in cells:
-        if progress:
-            progress(f"running {cell.id}")
-        records[cell.id] = run_scale_cell(cell)
+    records = run_cells("scale", cells, jobs=jobs, cache=cache,
+                        telemetry=telemetry, progress=progress)
     trends = [
-        _evaluate_trend(t, records)
+        evaluate_trend(t, records)
         for t in SCALE_TRENDS
         if all(c in records for c in t.cells)
     ]
     return {"schema": SCALE_SCHEMA, "rtol": SCALE_RTOL,
             "cells": records, "trends": trends}
-
-
-def _evaluate_trend(t: Trend, records: dict) -> dict:
-    lhs = records[t.left][t.metric]
-    rhs = records[t.right][t.metric]
-    out = {
-        "id": t.id,
-        "description": t.description,
-        "metric": t.metric,
-        "left": t.left,
-        "relation": t.relation,
-        "right": t.right,
-    }
-    if t.left_div is not None:
-        lhs /= records[t.left_div][t.metric] or 1.0
-        out["left_div"] = t.left_div
-    if t.right_div is not None:
-        rhs /= records[t.right_div][t.metric] or 1.0
-        out["right_div"] = t.right_div
-    out["lhs"] = round(float(lhs), 6)
-    out["rhs"] = round(float(rhs), 6)
-    out["ok"] = t.holds(lhs, rhs)
-    return out
 
 
 def select_scale_cells(specs: list[str] | None) -> list[ScaleCell]:
@@ -338,100 +324,56 @@ def save_scale_baseline(payload: dict, path: str = SCALE_BASELINE_PATH) -> None:
         f.write("\n")
 
 
-# -- comparison ---------------------------------------------------------------
+# -- comparison (shared engine in repro.bench.cellrunner) ---------------------
 
-
-class ScaleReport:
-    """Outcome of one compare: violations plus coverage counts."""
-
-    def __init__(self, violations: list[dict], cells_checked: int,
-                 trends_checked: int):
-        self.violations = violations
-        self.cells_checked = cells_checked
-        self.trends_checked = trends_checked
-
-    @property
-    def ok(self) -> bool:
-        return not self.violations
+#: Kept as the public name of this gate's report type.
+ScaleReport = GateReport
 
 
 def compare_scale(current: dict, baseline: dict, *,
-                  rtol: float | None = None) -> ScaleReport:
+                  rtol: float | None = None) -> GateReport:
     """Compare a fresh sweep against the committed ``BENCH_scale.json``.
 
     Same contract as the figure gate: only cells present in ``current``
     are compared; a selected cell missing from the baseline is itself a
     violation; trend assertions are evaluated against the live run.
     """
-    rtol = baseline.get("rtol", SCALE_RTOL) if rtol is None else rtol
-    violations: list[dict] = []
-    base_cells = baseline.get("cells", {})
-    cur_cells = current.get("cells", {})
-    for cell_id, cur in sorted(cur_cells.items()):
-        base = base_cells.get(cell_id)
-        if base is None:
-            violations.append({
-                "cell": cell_id, "kind": "missing-cell", "metric": "-",
-                "current": "-", "baseline": "-",
-                "detail": "cell not in baseline (run --update-baseline)",
-            })
-            continue
-        for metric in EXACT_METRICS:
-            if cur[metric] != base[metric]:
-                violations.append({
-                    "cell": cell_id, "kind": "count", "metric": metric,
-                    "current": cur[metric], "baseline": base[metric],
-                    "detail": "exact-match counter changed",
-                })
-        for metric in BANDED_METRICS:
-            b, c = base[metric], cur[metric]
-            if b == 0 and c == 0:
-                continue
-            delta = (c - b) / (abs(b) or 1.0)
-            if abs(delta) > rtol:
-                violations.append({
-                    "cell": cell_id, "kind": "band", "metric": metric,
-                    "current": c, "baseline": b,
-                    "detail": f"{delta:+.1%} vs baseline (band ±{rtol:.0%})",
-                })
-    for trend in current.get("trends", []):
-        if not trend["ok"]:
-            violations.append({
-                "cell": f"{trend['left']} vs {trend['right']}",
-                "kind": "trend", "metric": trend["metric"],
-                "current": f"{trend['lhs']:.4g} {trend['relation']}? "
-                           f"{trend['rhs']:.4g}",
-                "baseline": "scaling law",
-                "detail": f"{trend['id']}: {trend['description']}",
-            })
-    return ScaleReport(
-        violations, len(cur_cells), len(current.get("trends", []))
+    return compare_records(
+        current,
+        baseline,
+        exact_metrics=EXACT_METRICS,
+        banded_metrics=BANDED_METRICS,
+        default_rtol=SCALE_RTOL,
+        rtol=rtol,
+        trend_baseline="scaling law",
     )
 
 
-def format_scale_report(report: ScaleReport, *,
+def format_scale_report(report: GateReport, *,
                         title: str = "repro scale") -> str:
-    from ..core.report import format_table
-
-    lines = [title, "=" * len(title)]
-    lines.append(
-        f"{report.cells_checked} cells, {report.trends_checked} "
-        f"scaling-trend assertions checked"
+    return format_gate_report(
+        report,
+        title=title,
+        pass_detail="counters exact, bandwidth in band, "
+                    "all scaling trends hold",
+        trend_noun="scaling-trend",
     )
-    if report.ok:
-        lines.append("gate: PASS (counters exact, bandwidth in band, "
-                     "all scaling trends hold)")
-        return "\n".join(lines)
-    lines.append(f"gate: FAIL ({len(report.violations)} violation(s))\n")
-    rows = [
-        [v["cell"], v["kind"], v["metric"], str(v["baseline"]),
-         str(v["current"]), v["detail"]]
-        for v in report.violations
-    ]
-    lines.append(format_table(
-        ["cell", "check", "metric", "baseline", "current", "why"], rows
-    ))
-    return "\n".join(lines)
+
+
+# -- executor family ----------------------------------------------------------
+
+
+def _family_run(cell: ScaleCell, extra: dict) -> dict:
+    return run_scale_cell(cell)
+
+
+register_family(CellFamily(
+    name="scale",
+    run=_family_run,
+    cell_id=lambda c: c.id,
+    spec=lambda c, extra: asdict(c),
+    describe=lambda c: c.id,
+))
 
 
 def scale_chart(records: dict) -> str:

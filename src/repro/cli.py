@@ -23,7 +23,19 @@ Commands:
 * ``scale``                      -- the weak-scaling gate past the paper's
   processor counts: P in {16..1024} x strategy x machine, compared against
   ``BENCH_scale.json`` (exact counters, banded bandwidths, pinned scaling
-  trends); same exit convention as ``regress``.
+  trends); same exit convention as ``regress``;
+* ``bench timings``              -- print the per-cell executor telemetry
+  (wall µs, cache hit/miss, worker id, queue wait) recorded in
+  ``BENCH_timings.json``; ``bench insights`` runs the insights smoke
+  matrix through the executor.
+
+The matrix gates (``regress``/``scale``/``overlap``/``bench insights``)
+share the executor options ``--jobs N`` (default
+``min(os.cpu_count(), n_cells)``, overridable with ``REPRO_JOBS``;
+``--jobs 1`` forces the legacy serial path; 0 or negative is a usage
+error), ``--no-cache`` (skip the content-addressed result cache, also
+``REPRO_CACHE=0``) and ``--timings PATH`` (telemetry artifact, default
+``BENCH_timings.json``).
 
 Common options: ``--problem AMR16|AMR32|AMR64|AMR128`` and ``--procs N``.
 """
@@ -60,6 +72,48 @@ def _retry_policy(args):
     from .resilience import RetryPolicy
 
     return RetryPolicy(max_retries=n)
+
+
+def _add_executor_args(parser) -> None:
+    """The shared executor options of the matrix gates."""
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the cell matrix (default: "
+                             "min(cpu count, cells), or $REPRO_JOBS; "
+                             "--jobs 1 forces the legacy serial path)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the content-addressed result cache "
+                             "(.repro-cache/; also REPRO_CACHE=0)")
+    parser.add_argument("--timings", default="BENCH_timings.json",
+                        metavar="PATH",
+                        help="per-cell telemetry artifact to merge into "
+                             "(default BENCH_timings.json; '' disables)")
+
+
+def _executor_options(args, n_cells: int, family: str):
+    """Resolve (jobs, cache, telemetry) from the shared executor flags.
+
+    Raises :class:`ValueError` on a bad ``--jobs``/``REPRO_JOBS`` value --
+    callers exit 2, it is a usage error.
+    """
+    from .bench.cellcache import CellCache
+    from .bench.executor import resolve_jobs
+    from .bench.timings import Telemetry
+
+    jobs = resolve_jobs(args.jobs, n_cells)
+    cache = CellCache.from_env(disabled=args.no_cache)
+    return jobs, cache, Telemetry(family, jobs)
+
+
+def _finish_telemetry(args, telemetry, cache, progress) -> None:
+    """Merge the run's telemetry into the artifact and report cache use."""
+    from .bench.timings import save_timings
+
+    if args.timings:
+        save_timings(telemetry, args.timings)
+    if progress and cache is not None:
+        print(f"  cache: {cache.hits} hit(s), {cache.misses} miss(es)"
+              + (f", {cache.corrupt} corrupt entr(ies) dropped"
+                 if cache.corrupt else ""))
 
 
 def _arm_fault(fs, spec: str) -> bool:
@@ -392,6 +446,7 @@ def cmd_regress(args) -> int:
     try:
         cells = select_cells(args.cell)
         perturb = reg.parse_perturbations(args.perturb)
+        jobs, cache, telemetry = _executor_options(args, len(cells), "regress")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -406,12 +461,14 @@ def cmd_regress(args) -> int:
         return 0
     progress = None if args.quiet else lambda msg: print(f"  {msg}")
     if progress:
-        print(f"repro regress: {len(cells)} cell(s)")
+        print(f"repro regress: {len(cells)} cell(s), jobs={jobs}")
     try:
-        current = reg.run_matrix(cells, perturb=perturb, progress=progress)
+        current = reg.run_matrix(cells, perturb=perturb, progress=progress,
+                                 jobs=jobs, cache=cache, telemetry=telemetry)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _finish_telemetry(args, telemetry, cache, progress)
     if args.out:
         with open(args.out, "w") as f:
             json.dump(current, f, indent=2, sort_keys=True)
@@ -473,6 +530,7 @@ def cmd_scale(args) -> int:
 
     try:
         cells = sc.select_scale_cells(args.cell)
+        jobs, cache, telemetry = _executor_options(args, len(cells), "scale")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -483,8 +541,10 @@ def cmd_scale(args) -> int:
         return 0
     progress = None if args.quiet else lambda msg: print(f"  {msg}")
     if progress:
-        print(f"repro scale: {len(cells)} cell(s)")
-    current = sc.run_scale_matrix(cells, progress=progress)
+        print(f"repro scale: {len(cells)} cell(s), jobs={jobs}")
+    current = sc.run_scale_matrix(cells, progress=progress, jobs=jobs,
+                                  cache=cache, telemetry=telemetry)
+    _finish_telemetry(args, telemetry, cache, progress)
     if not args.quiet:
         print(sc.scale_chart(current["cells"]))
         print()
@@ -558,23 +618,30 @@ def cmd_overlap(args) -> int:
                   f"{', '.join(p[0] for p in DEFAULT_PAIRS)})",
                   file=sys.stderr)
             return 2
+    try:
+        jobs, cache, telemetry = _executor_options(args, len(pairs), "overlap")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     progress = None if args.quiet else lambda msg: print(f"  {msg}")
     if progress:
         print(f"repro overlap: {len(pairs)} machine(s), "
-              f"P={args.procs}, {args.cycles} cycles")
+              f"P={args.procs}, {args.cycles} cycles, jobs={jobs}")
     comparisons = run_overlap_bench(
-        pairs, nprocs=args.procs, ncycles=args.cycles, progress=progress
+        pairs, nprocs=args.procs, ncycles=args.cycles, progress=progress,
+        jobs=jobs, cache=cache, telemetry=telemetry,
     )
+    _finish_telemetry(args, telemetry, cache, progress)
     rows = [
         [
-            c.machine,
-            c.problem,
-            c.sync.strategy,
-            c.async_.strategy,
-            f"{c.sync.makespan:.3f}",
-            f"{c.async_.makespan:.3f}",
-            f"{c.speedup:.2f}x",
-            f"{c.bw_speedup:.2f}x",
+            c["machine"],
+            c["problem"],
+            c["sync"]["strategy"],
+            c["async"]["strategy"],
+            f"{c['sync']['makespan_s']:.3f}",
+            f"{c['async']['makespan_s']:.3f}",
+            f"{c['speedup']:.2f}x",
+            f"{c['bw_speedup']:.2f}x",
         ]
         for c in comparisons
     ]
@@ -588,13 +655,78 @@ def cmd_overlap(args) -> int:
         print(f"wrote {args.out}")
     failed = False
     for c in comparisons:
-        if c.speedup <= 1.0:
-            print(f"overlap REGRESSION: {c.machine}/{c.problem} speedup "
-                  f"{c.speedup:.3f} <= 1.0", file=sys.stderr)
+        if c["speedup"] <= 1.0:
+            print(f"overlap REGRESSION: {c['machine']}/{c['problem']} speedup "
+                  f"{c['speedup']:.3f} <= 1.0", file=sys.stderr)
             failed = True
     for problem in check_trends(comparisons):
         print(f"overlap TREND VIOLATED: {problem}", file=sys.stderr)
         failed = True
+    return 1 if failed else 0
+
+
+def cmd_bench(args) -> int:
+    """Executor utilities: telemetry table and the insights smoke matrix."""
+    if args.bench_command == "timings":
+        from .bench.timings import format_timings, load_timings
+
+        try:
+            payload = load_timings(args.timings)
+        except FileNotFoundError:
+            print(f"error: no timings artifact at {args.timings}; run a "
+                  "matrix gate (repro regress/scale/overlap) first",
+                  file=sys.stderr)
+            return 2
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot load timings {args.timings}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.top is not None and args.top < 1:
+            print(f"error: --top must be a positive integer (got {args.top})",
+                  file=sys.stderr)
+            return 2
+        print(format_timings(payload, top=args.top))
+        return 0
+
+    # bench insights: the smoke matrix through the executor.
+    from .bench.insights_smoke import (
+        INSIGHTS_MATRIX,
+        check_smoke,
+        run_insights_matrix,
+    )
+
+    try:
+        jobs, cache, telemetry = _executor_options(
+            args, len(INSIGHTS_MATRIX), "insights"
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    progress = None if args.quiet else lambda msg: print(f"  {msg}")
+    if progress:
+        print(f"repro bench insights: {len(INSIGHTS_MATRIX)} cell(s), "
+              f"jobs={jobs}")
+    records = run_insights_matrix(jobs=jobs, cache=cache,
+                                  telemetry=telemetry, progress=progress)
+    _finish_telemetry(args, telemetry, cache, progress)
+    rows = [
+        [
+            r["strategy"],
+            r["problem"],
+            str(r["nprocs"]),
+            str(r["high"]),
+            str(r["warn"]),
+            ", ".join(f["rule"] for f in r["findings"][:4])
+            + (", ..." if len(r["findings"]) > 4 else ""),
+        ]
+        for r in records.values()
+    ]
+    print(format_table(
+        ["strategy", "problem", "P", "high", "warn", "rules fired"], rows
+    ))
+    failed = check_smoke(records)
+    for problem in failed:
+        print(f"insights SMOKE FAILED: {problem}", file=sys.stderr)
     return 1 if failed else 0
 
 
@@ -707,6 +839,7 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--list-cells", action="store_true",
                    help="list the cells the --cell specs select (or the "
                         "whole matrix) without running anything")
+    _add_executor_args(r)
 
     sc = sub.add_parser(
         "scale",
@@ -731,6 +864,7 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--list-cells", action="store_true",
                     help="list the cells the --cell specs select (or the "
                          "whole matrix) without running anything")
+    _add_executor_args(sc)
 
     o = sub.add_parser(
         "overlap",
@@ -746,6 +880,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bench artifact path (default BENCH_overlap.json)")
     o.add_argument("--quiet", action="store_true",
                    help="suppress per-machine progress lines")
+    _add_executor_args(o)
+
+    b = sub.add_parser(
+        "bench",
+        help="executor utilities: per-cell timings, insights smoke matrix",
+    )
+    bsub = b.add_subparsers(dest="bench_command", required=True)
+    bt = bsub.add_parser(
+        "timings",
+        help="print the per-cell telemetry table from BENCH_timings.json",
+    )
+    bt.add_argument("--timings", default="BENCH_timings.json", metavar="PATH",
+                    help="telemetry artifact to read "
+                         "(default BENCH_timings.json)")
+    bt.add_argument("--top", type=int, default=None, metavar="N",
+                    help="show only the N slowest cells across all families")
+    bi = bsub.add_parser(
+        "insights",
+        help="run the insights smoke matrix through the executor "
+             "(exit 1 if a strategy stops firing its rules)",
+    )
+    bi.add_argument("--quiet", action="store_true",
+                    help="suppress per-cell progress lines")
+    _add_executor_args(bi)
 
     s = sub.add_parser("simulate", help="run the full ENZO flow")
     s.add_argument("--problem", default="AMR32")
@@ -776,6 +934,7 @@ def main(argv=None) -> int:
         "regress": cmd_regress,
         "scale": cmd_scale,
         "overlap": cmd_overlap,
+        "bench": cmd_bench,
     }[args.command]
     try:
         return handler(args)

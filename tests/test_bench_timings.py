@@ -1,0 +1,136 @@
+"""Executor telemetry: the Telemetry payload, artifact merge, CLI table."""
+
+import json
+
+import pytest
+
+from repro.bench.timings import (
+    TIMINGS_SCHEMA,
+    Telemetry,
+    format_timings,
+    load_timings,
+    save_timings,
+)
+from repro.cli import main
+
+
+def _telemetry(family="regress", jobs=2, cells=3):
+    t = Telemetry(family, jobs=jobs)
+    for i in range(cells):
+        t.add(f"{family}:cell:{i}", wall_us=(i + 1) * 100,
+              cache="hit" if i == 0 else "miss",
+              worker=i % jobs, queue_wait_us=i * 7)
+    return t
+
+
+def test_payload_counts():
+    payload = _telemetry().to_payload()
+    assert payload["jobs"] == 2
+    assert payload["cells"] == 3
+    assert payload["cache_hits"] == 1
+    assert payload["cache_misses"] == 2
+    assert payload["total_wall_us"] == 100 + 200 + 300
+    assert [e["cell"] for e in payload["entries"]] == [
+        "regress:cell:0", "regress:cell:1", "regress:cell:2",
+    ]
+
+
+def test_save_merges_families(tmp_path):
+    path = tmp_path / "BENCH_timings.json"
+    save_timings(_telemetry("regress"), str(path))
+    save_timings(_telemetry("scale", cells=2), str(path))
+    payload = load_timings(str(path))
+    assert payload["schema"] == TIMINGS_SCHEMA
+    assert set(payload["families"]) == {"regress", "scale"}
+    # re-saving a family replaces its section, not appends
+    save_timings(_telemetry("regress", cells=1), str(path))
+    payload = load_timings(str(path))
+    assert payload["families"]["regress"]["cells"] == 1
+    assert payload["families"]["scale"]["cells"] == 2
+
+
+def test_save_replaces_unreadable_artifact(tmp_path):
+    path = tmp_path / "BENCH_timings.json"
+    path.write_text("not json")
+    save_timings(_telemetry(), str(path))
+    assert load_timings(str(path))["families"]["regress"]["cells"] == 3
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"schema": 1, "runs": []}))
+    with pytest.raises(ValueError):
+        load_timings(str(path))
+
+
+def test_format_lists_all_cells():
+    payload = {"schema": TIMINGS_SCHEMA,
+               "families": {"regress": _telemetry().to_payload()}}
+    text = format_timings(payload)
+    assert "3 cell(s)" in text
+    assert "regress:cell:2" in text
+    assert "jobs=2" in text
+
+
+def test_format_top_selects_slowest():
+    t_fast = _telemetry("scale", cells=2)          # 100, 200 us
+    t_slow = Telemetry("regress", jobs=1)
+    t_slow.add("regress:big", wall_us=9999, cache="miss", worker=0,
+               queue_wait_us=0)
+    payload = {"schema": TIMINGS_SCHEMA,
+               "families": {"scale": t_fast.to_payload(),
+                            "regress": t_slow.to_payload()}}
+    text = format_timings(payload, top=1)
+    assert "1 slowest cell(s)" in text
+    assert "regress:big" in text
+    assert "scale:cell:0" not in text
+
+
+def test_format_renders_cache_hit_worker_as_dash():
+    t = Telemetry("regress", jobs=4)
+    t.add("regress:c", wall_us=5, cache="hit", worker=-1, queue_wait_us=0)
+    payload = {"schema": TIMINGS_SCHEMA, "families": {"regress": t.to_payload()}}
+    lines = format_timings(payload).splitlines()
+    row = next(line for line in lines if "regress:c" in line)
+    assert " - " in f" {row.split()[-2]} "  # worker column renders "-"
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_timings_table(tmp_path, capsys):
+    path = tmp_path / "BENCH_timings.json"
+    save_timings(_telemetry(), str(path))
+    assert main(["bench", "timings", "--timings", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "regress:cell:0" in out
+    assert "wall [us]" in out
+
+
+def test_cli_timings_top(tmp_path, capsys):
+    path = tmp_path / "BENCH_timings.json"
+    save_timings(_telemetry(), str(path))
+    assert main(["bench", "timings", "--timings", str(path), "--top", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "regress:cell:2" in out      # slowest (300 us)
+    assert "regress:cell:0" not in out
+
+
+def test_cli_timings_missing_artifact_is_usage_error(tmp_path, capsys):
+    assert main(["bench", "timings", "--timings",
+                 str(tmp_path / "nope.json")]) == 2
+    assert "no timings artifact" in capsys.readouterr().err
+
+
+def test_cli_timings_corrupt_artifact_is_usage_error(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("{]")
+    assert main(["bench", "timings", "--timings", str(path)]) == 2
+    assert "cannot load" in capsys.readouterr().err
+
+
+def test_cli_timings_rejects_nonpositive_top(tmp_path, capsys):
+    path = tmp_path / "BENCH_timings.json"
+    save_timings(_telemetry(), str(path))
+    assert main(["bench", "timings", "--timings", str(path), "--top", "0"]) == 2
+    assert "--top" in capsys.readouterr().err
