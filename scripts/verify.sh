@@ -51,4 +51,8 @@ python -m repro simulate --problem AMR16 --procs 4 --cycles 1 \
 echo "== tuned-vs-untuned bandwidth artifact =="
 python -m repro tune --problem AMR32 --procs 8 --strategy hdf4 \
     --out BENCH_insights.json
+
+echo "== lustre stripe-retune artifact (striping_factor widening) =="
+python -m repro tune --problem AMR32 --procs 8 --strategy mpi-io \
+    --machine lustre --out BENCH_insights_lustre.json
 echo "verify OK"

@@ -102,7 +102,12 @@ def get_family(name: str) -> CellFamily:
 
 
 def evaluate_trend(t, records: dict) -> dict:
-    """One trend against live records; ratio trends divide each side."""
+    """One trend against live records; ratio trends divide each side.
+
+    String-valued metrics (golden file digests pinned with an ``eq``
+    relation) are compared verbatim; ratio divisors and the right-hand
+    scale factor only apply to numeric metrics.
+    """
     lhs = records[t.left][t.metric]
     rhs = records[t.right][t.metric]
     out = {
@@ -113,12 +118,20 @@ def evaluate_trend(t, records: dict) -> dict:
         "relation": t.relation,
         "right": t.right,
     }
+    if isinstance(lhs, str) or isinstance(rhs, str):
+        out["lhs"], out["rhs"] = lhs, rhs
+        out["ok"] = t.holds(lhs, rhs)
+        return out
     if t.left_div is not None:
         lhs /= records[t.left_div][t.metric] or 1.0
         out["left_div"] = t.left_div
     if t.right_div is not None:
         rhs /= records[t.right_div][t.metric] or 1.0
         out["right_div"] = t.right_div
+    rfactor = getattr(t, "rfactor", 1.0)
+    if rfactor != 1.0:
+        rhs *= rfactor
+        out["rfactor"] = rfactor
     out["lhs"] = round(float(lhs), 6)
     out["rhs"] = round(float(rhs), 6)
     out["ok"] = t.holds(lhs, rhs)
@@ -140,6 +153,13 @@ class GateReport:
     @property
     def ok(self) -> bool:
         return not self.violations
+
+
+def _fmt_side(value) -> str:
+    """One side of a trend for the report: numbers short, digests clipped."""
+    if isinstance(value, (int, float)):
+        return f"{value:.4g}"
+    return str(value)[:18]
 
 
 def _band_violation(cell_id, metric, cur, base, rtol):
@@ -204,10 +224,10 @@ def compare_records(
             if v:
                 violations.append(v)
         for metric in exact_metrics:
-            if cur[metric] != base[metric]:
+            if cur.get(metric) != base.get(metric):
                 violations.append({
                     "cell": cell_id, "kind": "count", "metric": metric,
-                    "current": cur[metric], "baseline": base[metric],
+                    "current": cur.get(metric), "baseline": base.get(metric),
                     "detail": "exact-match counter changed",
                 })
     for trend in current.get("trends", []):
@@ -221,7 +241,8 @@ def compare_records(
             violations.append({
                 "cell": f"{trend['left']} vs {trend['right']}",
                 "kind": "trend", "metric": trend["metric"],
-                "current": f"{lhs:.4g} {trend['relation']}? {rhs:.4g}",
+                "current": f"{_fmt_side(lhs)} {trend['relation']}? "
+                           f"{_fmt_side(rhs)}",
                 "baseline": trend_baseline,
                 "detail": f"{trend['id']}: {trend['description']}",
             })

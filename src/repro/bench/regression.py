@@ -71,6 +71,7 @@ EXACT_METRICS = (
     "fs_read_requests",
     "fs_recoveries",
     "trace_events",
+    "file_digest",
 )
 
 #: Banded per-cell metrics (relative tolerance).
@@ -81,6 +82,19 @@ def _make_strategy(name: str, hints: Hints | None):
     from ..iostack import registry
 
     return registry.create(name, hints=hints)
+
+
+def _store_digest(store, paths: tuple[str, ...]) -> str:
+    """SHA-256 over the committed bytes of ``paths`` (name, size, data)."""
+    import hashlib
+
+    h = hashlib.sha256()
+    for path in paths:
+        f = store.open(path)
+        h.update(path.encode())
+        h.update(str(f.size).encode())
+        h.update(f.read(0, f.size))
+    return h.hexdigest()
 
 
 # -- the fig5 access-pattern cell --------------------------------------------
@@ -157,8 +171,15 @@ def _run_figure_cell(cell: Cell, hints: Hints | None) -> dict:
         read_hierarchy=build_initial_workload(cell.problem),
         do_read=cell.do_read,
     )
+    file_digest = ""
+    if registry.get(cell.strategy).format == "scda":
+        # scda promises serial equivalence: the committed bytes are pinned
+        # so the partition-invariance trends can compare digests across P.
+        file_digest = _store_digest(machine.fs.store,
+                                    ("ckpt", "ckpt.manifest"))
     return _record(
         cell,
+        file_digest=file_digest,
         write_s=result.write_time,
         read_s=result.read_time,
         write_phases=result.write_phases,
@@ -254,6 +275,7 @@ def _record(cell: Cell, *, trace, **kw) -> dict:
         "fs_recoveries": int(kw["fs_recoveries"]),
         "trace_events": len(trace),
         "trace_digest": trace.digest(),
+        "file_digest": str(kw.get("file_digest", "")),
     }
 
 

@@ -321,6 +321,11 @@ def cmd_tune(args) -> int:
     from .insights import AutoTuner
 
     preset = PRESETS[args.machine]
+    try:
+        registry.check_filesystem(args.strategy, preset(nprocs=args.procs).fs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     tuner = AutoTuner(
         lambda n: preset(nprocs=n),
         problem=args.problem,
@@ -392,6 +397,11 @@ def cmd_table(args) -> int:
     rows = []
     for name in registry.names():
         machine = preset(nprocs=args.procs)
+        try:
+            registry.check_filesystem(name, machine.fs)
+        except ValueError as exc:
+            print(f"  skipping {name}: {exc}", file=sys.stderr)
+            continue
         if args.inject and not _arm_fault(machine.fs, args.inject):
             return 2
         result = run_checkpoint_experiment(
@@ -419,12 +429,14 @@ def cmd_strategies(args) -> int:
             comp.transport,
             comp.format,
             "yes" if comp.takes_hints else "no",
+            comp.fs_constraint or "-",
             ", ".join(f"{k}={v}" for k, v in sorted(comp.options.items()))
             or "-",
         ])
     print("registered I/O strategy compositions (repro.iostack.registry)")
     print(format_table(
-        ["name", "layout", "transport", "format", "hints", "options"], rows
+        ["name", "layout", "transport", "format", "hints", "requires",
+         "options"], rows
     ))
     for comp in registry.compositions():
         if comp.description:

@@ -37,6 +37,21 @@ def stripe_size_of(machine) -> int:
     return int(getattr(layout, "stripe_size", 0) or 0)
 
 
+def stripe_headroom_of(machine) -> int:
+    """Total server count when files default to a narrower stripe, else 0.
+
+    Lustre-style file systems expose ``nosts`` (total OSTs) and
+    ``default_stripe_count`` (the volume default a file gets without an
+    explicit layout); when the default is narrower than the volume, the
+    ``striping_factor`` hint can claim the rest.  Fixed-width file systems
+    (GPFS, PVFS, XFS in this repo) have no such headroom.
+    """
+    fs = machine.fs
+    nosts = int(getattr(fs, "nosts", 0) or 0)
+    current = int(getattr(fs, "default_stripe_count", 0) or 0)
+    return nosts if 0 < current < nosts else 0
+
+
 @dataclass
 class TuningStep:
     """One diagnose-and-run iteration."""
@@ -226,6 +241,7 @@ class AutoTuner:
             nprocs=self.nprocs,
             nnodes=machine.nnodes,
             stripe_size=stripe_size_of(machine),
+            stripe_widen_to=stripe_headroom_of(machine),
             hints=hints,
             strategy=strategy,
             thresholds=self.thresholds,
@@ -314,11 +330,16 @@ class AutoTuner:
         """
         tried = {s.strategy for s in report.steps}
         round_no = report.steps[-1].round if report.steps else 0
+        fs = self.machine_factory(self.nprocs).fs
         for comp in registry.compositions():
             if comp.variant_of is None or comp.variant_of not in tried:
                 continue
             if comp.name in tried:
                 continue
+            try:
+                registry.check_filesystem(comp.name, fs)
+            except ValueError:
+                continue  # e.g. scda on a scatter-mode node-local fs
             round_no += 1
             _trace, diagnosis, result = self.run_once(comp.name, hints)
             bandwidth = (

@@ -100,6 +100,29 @@ def misaligned_access(ctx: TraceContext) -> list:
         aligned = ctx.trace.alignment_fraction(op, stripe)
         evidence = {"stripe_size": stripe, "aligned_fraction": round(aligned, 3)}
         if aligned < th.aligned_fraction:
+            recs = [
+                Recommendation(
+                    ACTION_SET_HINT,
+                    "align collective file domains to the stripe",
+                    {"name": "cb_align", "value": stripe},
+                ),
+                Recommendation(
+                    ACTION_SET_HINT,
+                    "request an application-specific stripe at "
+                    "file-create time",
+                    {"name": "striping_unit", "value": stripe},
+                ),
+            ]
+            if ctx.stripe_widen_to > 0:
+                recs.append(
+                    Recommendation(
+                        ACTION_SET_HINT,
+                        "widen the checkpoint file's stripe count over "
+                        "all the file system's servers (lfs setstripe -c)",
+                        {"name": "striping_factor",
+                         "value": ctx.stripe_widen_to},
+                    )
+                )
             out.append(
                 Insight(
                     rule="misaligned-access",
@@ -111,19 +134,7 @@ def misaligned_access(ctx: TraceContext) -> list:
                     ),
                     op=op,
                     evidence=evidence,
-                    recommendations=(
-                        Recommendation(
-                            ACTION_SET_HINT,
-                            "align collective file domains to the stripe",
-                            {"name": "cb_align", "value": stripe},
-                        ),
-                        Recommendation(
-                            ACTION_SET_HINT,
-                            "request an application-specific stripe at "
-                            "file-create time",
-                            {"name": "striping_unit", "value": stripe},
-                        ),
-                    ),
+                    recommendations=tuple(recs),
                 )
             )
         else:

@@ -79,6 +79,10 @@ class TraceContext:
     nprocs: int = 0
     nnodes: int = 0
     stripe_size: int = 0
+    #: total server (OST) count when the file system stripes each file over
+    #: fewer servers than it has -- i.e. there is stripe-width headroom the
+    #: ``striping_factor`` hint can claim; 0 on fixed-width file systems.
+    stripe_widen_to: int = 0
     hints: object | None = None  # mpiio.Hints
     strategy: str | None = None
     registry: object | None = None  # core.MetadataRegistry
@@ -157,6 +161,7 @@ def diagnose(
     nprocs: int = 0,
     nnodes: int = 0,
     stripe_size: int = 0,
+    stripe_widen_to: int = 0,
     hints=None,
     strategy: str | None = None,
     registry=None,
@@ -169,6 +174,7 @@ def diagnose(
         nprocs=nprocs,
         nnodes=nnodes or nprocs,
         stripe_size=stripe_size,
+        stripe_widen_to=stripe_widen_to,
         hints=hints,
         strategy=strategy,
         registry=registry,

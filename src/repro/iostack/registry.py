@@ -26,6 +26,7 @@ from typing import Mapping, Optional
 
 from .formats import HDF4SDFormat, HDF5Format, RawSharedFormat
 from .layouts import FilePerGridLayoutPlanner, SharedFileLayoutPlanner
+from .scda import ScdaFormat
 from .transports import CollectiveTransport, FunnelTransport, IndependentTransport
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "LAYOUTS",
     "TRANSPORTS",
     "StrategyComposition",
+    "check_filesystem",
     "compositions",
     "create",
     "get",
@@ -57,6 +59,7 @@ FORMATS = {
     "hdf4-sd": HDF4SDFormat,
     "raw": RawSharedFormat,
     "hdf5": HDF5Format,
+    "scda": ScdaFormat,
 }
 
 
@@ -79,6 +82,11 @@ class StrategyComposition:
     options: Mapping = field(default_factory=dict)
     upgrades_to: Optional[str] = None
     variant_of: Optional[str] = None
+    #: named file-system requirement, or None when any layout works.
+    #: ``"coherent-shared-file"``: every rank's writes must land in one
+    #: coherent file image (scda's serial-equivalence promise), which
+    #: scatter-mode node-local file systems cannot provide.
+    fs_constraint: Optional[str] = None
 
     @property
     def takes_hints(self) -> bool:
@@ -160,11 +168,36 @@ def upgrade_chain(name: str) -> tuple[str, ...]:
     return tuple(chain)
 
 
+def check_filesystem(name: str, fs) -> None:
+    """Raise ``ValueError`` when ``fs`` cannot honour the strategy's
+    :attr:`~StrategyComposition.fs_constraint` (a named reason, so the CLI
+    can fail with exit 2 instead of silently producing a broken file)."""
+    comp = get(name)
+    if comp.fs_constraint is None or fs is None:
+        return
+    if comp.fs_constraint == "coherent-shared-file":
+        if getattr(fs, "scatter_mode", False):
+            raise ValueError(
+                f"strategy {name!r} requires a coherent shared file "
+                f"(constraint: coherent-shared-file), but file system "
+                f"{fs.name!r} scatters each rank's writes to its node-local "
+                f"disk; the committed pieces would never form one "
+                f"serial-equivalent file"
+            )
+        return
+    raise ValueError(
+        f"strategy {name!r} declares unknown fs constraint "
+        f"{comp.fs_constraint!r}"
+    )
+
+
 def create(name: str, *, hints=None, retry=None, read_mode: str | None = None):
     """Instantiate a registered composition as a runnable strategy.
 
     ``hints`` apply when the format takes MPI-IO hints (they are ignored
-    by ``hdf4``, matching the original driver's signature); ``read_mode``
+    by ``hdf4``, matching the original driver's signature); a composition
+    whose options carry a ``"hints"`` mapping (e.g. the stripe-tuned
+    ``mpi-io-lustre``) overlays those pinned knobs on top; ``read_mode``
     overrides the funnel transport's restart-read path.
     """
     from ..aio.core import AioConfig
@@ -175,6 +208,9 @@ def create(name: str, *, hints=None, retry=None, read_mode: str | None = None):
     comp = get(name)
     opts = comp.options
     aio = AioConfig() if opts.get("async") else None
+    hint_overrides = opts.get("hints")
+    if hint_overrides and comp.takes_hints:
+        hints = (hints or Hints()).replace(**hint_overrides)
     layout = LAYOUTS[comp.layout]()
     if comp.transport == "funnel":
         transport = FunnelTransport(
@@ -186,6 +222,10 @@ def create(name: str, *, hints=None, retry=None, read_mode: str | None = None):
         fmt = HDF4SDFormat()
     elif comp.format == "raw":
         fmt = RawSharedFormat(hints or Hints())
+    elif comp.format == "scda":
+        fmt = ScdaFormat(
+            hints or Hints(), block_size=int(opts.get("block_size", 4096))
+        )
     else:
         alignment = int(opts.get("alignment", 0))
         fmt = HDF5Format(
@@ -257,4 +297,33 @@ register(StrategyComposition(
     description="Section 5 remedies plus background flush (aligned + async)",
     options={"meta_aggregation": True, "alignment": 1 << 20, "async": True},
     variant_of="hdf5-aligned",
+))
+
+# -- scda serial-equivalent format + the Lustre stripe-tuned variant
+
+register(StrategyComposition(
+    name="mpi-io-scda",
+    layout="shared-file", transport="collective", format="scda",
+    description="scda serial-equivalent shared file: byte-identical for every P",
+    options={"block_size": 4096},
+    upgrades_to="mpi-io-scda-async",
+    variant_of="mpi-io",
+    fs_constraint="coherent-shared-file",
+))
+register(StrategyComposition(
+    name="mpi-io-scda-async",
+    layout="shared-file", transport="collective", format="scda",
+    description="scda over nonblocking writes, drained before manifest commit",
+    options={"block_size": 4096, "async": True},
+    variant_of="mpi-io-scda",
+    fs_constraint="coherent-shared-file",
+))
+register(StrategyComposition(
+    name="mpi-io-lustre",
+    layout="shared-file", transport="collective", format="raw",
+    description="collective MPI-IO with Lustre stripe hints pinned (lfs setstripe)",
+    options={"hints": {
+        "striping_unit": 1 << 20, "striping_factor": 16, "cb_align": 1 << 20,
+    }},
+    variant_of="mpi-io",
 ))

@@ -294,10 +294,13 @@ class CollectiveTransport:
                     )
                 else:
                     op.independent()
-                ctx.entries.append(entry_for_segments(
-                    f"top/field/{name}/r{comm.rank:04d}", ctx.base,
-                    op.segments(), arr,
-                ))
+                # Formats that own the manifest (scda) merge per-rank
+                # pieces at close instead of recording per-rank entries.
+                if not getattr(session, "owns_manifest", False):
+                    ctx.entries.append(entry_for_segments(
+                        f"top/field/{name}/r{comm.rank:04d}", ctx.base,
+                        op.segments(), arr,
+                    ))
                 op.finish()
                 ctx.stats.bytes_moved += arr.nbytes
 

@@ -82,8 +82,14 @@ class File:
         if comm.rank == 0:
             proc.schedule_point()
             if mode == "w":
-                if hints.striping_unit and hasattr(fs, "set_file_striping"):
-                    fs.set_file_striping(path, hints.striping_unit)
+                if (hints.striping_unit or hints.striping_factor) and hasattr(
+                    fs, "set_file_striping"
+                ):
+                    fs.set_file_striping(
+                        path,
+                        stripe_size=hints.striping_unit or None,
+                        stripe_count=hints.striping_factor or None,
+                    )
                 done = fs.create(path, node=comm.machine.node_of(comm.group[0]),
                                  ready_time=proc.clock)
             else:

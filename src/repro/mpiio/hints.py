@@ -49,6 +49,11 @@ class Hints:
     #: that support per-file layouts (the paper's suggested FS extension).
     striping_unit: int = 0
 
+    #: number of servers to stripe the file over at create time (0 = keep
+    #: the volume default); Lustre's ``lfs setstripe -c`` knob, ignored by
+    #: file systems whose server count is fixed.
+    striping_factor: int = 0
+
     def replace(self, **changes) -> "Hints":
         """A validated copy with ``changes`` applied (MPI_Info_set-style)."""
         return _dc_replace(self, **changes).validate()
@@ -72,6 +77,8 @@ class Hints:
             raise ValueError("cb_align must be >= 0")
         if self.striping_unit < 0:
             raise ValueError("striping_unit must be >= 0")
+        if self.striping_factor < 0:
+            raise ValueError("striping_factor must be >= 0")
         if self.wb_buffer_size < 0:
             raise ValueError("wb_buffer_size must be >= 0")
         return self

@@ -6,6 +6,7 @@
 * :class:`StripedServerFS` -- striped client/server model with the
   contention mechanisms of GPFS and PVFS (and, degenerately, XFS);
 * :class:`LocalDiskFS` -- node-private disks (the paper's 4th experiment);
+* :class:`LustreFS` -- Lustre-like OST/MDS model with per-file layouts;
 * :class:`StripeLayout` -- striping arithmetic.
 """
 
@@ -21,6 +22,7 @@ from .base import (
 )
 from .blockstore import BlockStore, FileExists, FileNotFound, StoredFile
 from .localfs import LocalDiskFS
+from .lustre import LustreFS, LustreStripeLayout
 from .striped import IOServer, StripedServerFS, coalesce_runs
 from .striping import Chunk, StripeLayout
 
@@ -38,6 +40,8 @@ __all__ = [
     "FileNotFound",
     "FileExists",
     "LocalDiskFS",
+    "LustreFS",
+    "LustreStripeLayout",
     "StripedServerFS",
     "IOServer",
     "coalesce_runs",

@@ -198,12 +198,19 @@ class StripedServerFS(FileSystem):
 
     # -- helpers -----------------------------------------------------------
 
-    def set_file_striping(self, path: str, stripe_size: int) -> None:
+    def set_file_striping(
+        self, path: str, stripe_size: int | None = None, stripe_count: int | None = None
+    ) -> None:
         """Give ``path`` its own stripe size (application-specific layout).
 
         Must be called before data is written; the simulated store keeps
         bytes independently of layout, so only timing is affected.
+        ``stripe_count`` is accepted for hint-plumbing symmetry with
+        :class:`~repro.pfs.lustre.LustreFS` but ignored: this model's
+        server count is fixed at volume creation.
         """
+        if stripe_size is None:
+            return
         self._file_layouts[path] = StripeLayout(
             stripe_size=stripe_size, nservers=self.layout.nservers
         )

@@ -128,6 +128,48 @@ class TestTableCommand:
         assert any(int(l.split()[-1]) > 0 for l in rows)
 
 
+class TestFilesystemConstraintErrors:
+    """scda requires one coherent shared file; a scatter-mode node-local
+    volume can never satisfy that, and the CLI must say so up front."""
+
+    def test_tune_scda_on_scatter_fs_exits_2(self, capsys):
+        rc = main(["tune", "--machine", "chiba_city_local",
+                   "--strategy", "mpi-io-scda", "--procs", "4"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "coherent-shared-file" in err
+        assert "mpi-io-scda" in err
+
+    def test_tune_scda_on_coherent_fs_is_accepted(self, capsys):
+        # Same strategy, shared-volume machine: past the gate (exit 0/1
+        # both mean "the tuner actually ran").
+        rc = main(["tune", "--machine", "lustre", "--problem", "AMR16",
+                   "--strategy", "mpi-io-scda", "--procs", "2",
+                   "--rounds", "1"])
+        assert rc in (0, 1)
+        assert "coherent-shared-file" not in capsys.readouterr().err
+
+    def test_strategies_table_surfaces_constraints(self, capsys):
+        rc = main(["strategies"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[1]
+        assert "requires" in header.split()
+        scda_rows = [l for l in out.splitlines() if l.split()
+                     and l.split()[0] in ("mpi-io-scda", "mpi-io-scda-async")]
+        assert len(scda_rows) == 2
+        assert all("coherent-shared-file" in l for l in scda_rows)
+
+    def test_table_skips_incompatible_strategies(self, capsys):
+        rc = main(["table", "--machine", "chiba_city_local",
+                   "--problem", "AMR16", "--procs", "2"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "skipping mpi-io-scda" in captured.err
+        assert "coherent-shared-file" in captured.err
+        assert "mpi-io" in captured.out  # compatible strategies still ran
+
+
 @pytest.mark.parametrize("argv", [["--retries", "2"], []])
 def test_analyze_accepts_retries_flag(argv, capsys):
     rc = main(["analyze", "--problem", "AMR16", "--procs", "2",

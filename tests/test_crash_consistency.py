@@ -209,3 +209,108 @@ def test_async_fault_at_every_write_index_without_retry_fails_loudly(
         assert isinstance(ei.value.__cause__, InjectedIOError), f"index {index}"
         with pytest.raises(RankFailedError):
             run_spmd(m, read_program(MPIIOStrategy()))
+
+
+# -- the Lustre cell: same contract on per-file stripe layouts ---------------
+
+
+def make_lustre_machine():
+    from repro.pfs.lustre import LustreFS
+
+    fs = LustreFS(
+        "lfs-crash",
+        nosts=4,
+        stripe_size=4096,
+        stripe_count=2,
+        disk_bandwidth=1e9,
+        seek_time=0.0,
+    )
+    return make_machine(NPROCS, fs=fs)
+
+
+@pytest.fixture(scope="module")
+def lustre_write_count(hierarchy):
+    m = make_lustre_machine()
+    run_spmd(m, write_program(hierarchy, MPIIOStrategy()))
+    return m.fs.counters.writes
+
+
+@pytest.mark.slow
+@pytest.mark.regression
+def test_lustre_fault_at_every_write_index(hierarchy, lustre_write_count):
+    """Recover-or-raise holds when stripes land on per-file OST layouts:
+    with retry the restart is bit-identical, without it both the dump and
+    the restart fail loudly."""
+    for index in range(lustre_write_count):
+        m = make_lustre_machine()
+        m.fs.inject_fault("write", "ckpt", after=index)
+        strategy = MPIIOStrategy(retry=RetryPolicy(max_retries=2))
+        run_spmd(m, write_program(hierarchy, strategy))
+        assert m.fs.counters.recoveries > 0, f"index {index}: never fired"
+        res = run_spmd(m, read_program(MPIIOStrategy()))
+        rebuilt = RankState.collect(res.results)
+        assert hierarchies_equivalent(rebuilt, hierarchy), f"index {index}"
+
+        m = make_lustre_machine()
+        m.fs.inject_fault("write", "ckpt", after=index)
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(m, write_program(hierarchy, MPIIOStrategy()))
+        assert isinstance(ei.value.__cause__, InjectedIOError), f"index {index}"
+        with pytest.raises(RankFailedError):
+            run_spmd(m, read_program(MPIIOStrategy()))
+
+
+# -- the scda composition: faults under the serial-equivalent format ---------
+#
+# scda adds header/padding writes and a CRC-carrying manifest on top of the
+# raw shared-file session; the matrix proves a fault at *any* write index
+# still ends in recover-or-refuse -- a torn header is detected at restart
+# (ScdaHeaderError or the manifest gate), never silently parsed.
+
+
+@pytest.fixture(scope="module")
+def scda_write_count(hierarchy):
+    from repro.iostack import registry
+
+    m = make_machine(NPROCS)
+    run_spmd(m, write_program(hierarchy, registry.create("mpi-io-scda")))
+    return m.fs.counters.writes
+
+
+@pytest.mark.slow
+@pytest.mark.regression
+def test_scda_fault_at_every_write_index_with_retry_recovers(
+    hierarchy, scda_write_count
+):
+    from repro.iostack import registry
+
+    for index in range(scda_write_count):
+        m = make_machine(NPROCS)
+        m.fs.inject_fault("write", "ckpt", after=index)
+        strategy = registry.create(
+            "mpi-io-scda", retry=RetryPolicy(max_retries=2)
+        )
+        run_spmd(m, write_program(hierarchy, strategy))
+        assert m.fs.counters.recoveries > 0, f"index {index}: never fired"
+        res = run_spmd(m, read_program(registry.create("mpi-io-scda")))
+        rebuilt = RankState.collect(res.results)
+        assert hierarchies_equivalent(rebuilt, hierarchy), f"index {index}"
+
+
+@pytest.mark.slow
+@pytest.mark.regression
+def test_scda_fault_at_every_write_index_without_retry_fails_loudly(
+    hierarchy, scda_write_count
+):
+    from repro.iostack import registry
+
+    for index in range(scda_write_count):
+        m = make_machine(NPROCS)
+        m.fs.inject_fault("write", "ckpt", after=index)
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(
+                m, write_program(hierarchy, registry.create("mpi-io-scda"))
+            )
+        assert isinstance(ei.value.__cause__, InjectedIOError), f"index {index}"
+        with pytest.raises(RankFailedError):
+            run_spmd(m, read_program(registry.create("mpi-io-scda")))

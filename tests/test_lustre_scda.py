@@ -1,0 +1,436 @@
+"""Lustre model + scda serial-equivalent format: partition-invariance suite.
+
+Three pillars gate the new subsystem:
+
+* ``LustreStripeLayout`` must agree with an explicit per-byte reference
+  model under fuzzed stripe geometry (mirrors ``test_pfs_striping.py``
+  for the per-file OST layouts, including non-zero starting OSTs).
+* ``scda`` is *serial equivalent*: the committed checkpoint file and its
+  manifest are byte-identical for every process count, for both the sync
+  and the async composition -- the property the format exists to provide.
+* Torn scda headers or padding are detected at restart -- never silently
+  parsed -- and the recover-or-raise fault matrix holds on Lustre too.
+"""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr import make_initial_conditions
+from repro.core import trace_filesystem
+from repro.enzo import RankState, hierarchies_equivalent
+from repro.enzo.layout import CheckpointLayout
+from repro.enzo.meta import HierarchyMeta
+from repro.insights import AutoTuner
+from repro.insights.autotune import stripe_headroom_of
+from repro.iostack import registry
+from repro.iostack.scda import (
+    FILE_HEADER_NBYTES,
+    SECTION_HEADER_NBYTES,
+    ScdaHeaderError,
+    ScdaLayout,
+    crc32_combine,
+)
+from repro.mpi import run_spmd
+from repro.pfs.lustre import LustreFS, LustreStripeLayout
+from repro.resilience import ManifestVerificationError
+from repro.sim import RankFailedError
+from repro.topology import origin2000
+from repro.topology.presets import lustre as lustre_preset
+
+from .conftest import make_machine
+
+SCDA_STRATEGIES = ("mpi-io-scda", "mpi-io-scda-async")
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return make_initial_conditions(
+        (16, 16, 16), seed=3, pre_refine=0, particles_per_cell=0.25
+    )
+
+
+def write_program(hierarchy, strategy, base="ckpt"):
+    def program(comm):
+        state = RankState.from_hierarchy(hierarchy, comm.rank, comm.size)
+        return strategy.write_checkpoint(comm, state, base)
+
+    return program
+
+
+def read_program(strategy, base="ckpt"):
+    def program(comm):
+        state, _stats = strategy.read_checkpoint(comm, base)
+        return state
+
+    return program
+
+
+def dump(strategy_name, nprocs, hierarchy, machine=None):
+    m = machine if machine is not None else make_machine(nprocs)
+    run_spmd(m, write_program(hierarchy, registry.create(strategy_name)))
+    return m
+
+
+def file_bytes(m, path):
+    f = m.fs.store.open(path)
+    return f.read(0, f.size)
+
+
+# -- the tentpole property: committed bytes do not depend on P ---------------
+
+
+class TestScdaPartitionInvariance:
+    @pytest.mark.parametrize("strategy", SCDA_STRATEGIES)
+    def test_bytes_identical_for_every_nprocs(self, strategy, hierarchy):
+        """For P in {1,2,4,8,16} the committed file *and* its manifest are
+        byte-identical to the serial run -- the scda contract."""
+        ref = dump(strategy, 1, hierarchy)
+        ref_data = file_bytes(ref, "ckpt")
+        ref_manifest = file_bytes(ref, "ckpt.manifest")
+        assert len(ref_data) > FILE_HEADER_NBYTES
+        for nprocs in (2, 4, 8, 16):
+            m = dump(strategy, nprocs, hierarchy)
+            assert file_bytes(m, "ckpt") == ref_data, f"P={nprocs}"
+            assert (
+                file_bytes(m, "ckpt.manifest") == ref_manifest
+            ), f"P={nprocs}"
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_fuzzed_hierarchies_stay_invariant(self, seed):
+        """Invariance is structural, not an artifact of one hierarchy:
+        fuzz the initial conditions, include a non-dividing P=3."""
+        h = make_initial_conditions(
+            (8, 8, 8), seed=seed, pre_refine=0, particles_per_cell=0.25
+        )
+        ref = dump("mpi-io-scda", 1, h)
+        ref_bytes = (file_bytes(ref, "ckpt"), file_bytes(ref, "ckpt.manifest"))
+        for nprocs in (3, 4):
+            m = dump("mpi-io-scda", nprocs, h)
+            got = (file_bytes(m, "ckpt"), file_bytes(m, "ckpt.manifest"))
+            assert got == ref_bytes, f"P={nprocs}"
+
+    @pytest.mark.parametrize("strategy", SCDA_STRATEGIES)
+    def test_restores_bit_identical_arrays(self, strategy, hierarchy):
+        m = dump(strategy, 4, hierarchy)
+        res = run_spmd(m, read_program(registry.create(strategy)))
+        rebuilt = RankState.collect(res.results)
+        assert hierarchies_equivalent(rebuilt, hierarchy)
+
+
+# -- satellite: sync-vs-async differential -----------------------------------
+
+
+class TestScdaSyncAsyncDifferential:
+    def test_same_data_file_and_restored_state(self, hierarchy):
+        """The async composition commits the *same* bytes the sync one
+        does, and both restore bit-identical arrays."""
+        sync = dump("mpi-io-scda", 4, hierarchy)
+        asyn = dump("mpi-io-scda-async", 4, hierarchy)
+        assert file_bytes(sync, "ckpt") == file_bytes(asyn, "ckpt")
+
+        for m in (sync, asyn):
+            res = run_spmd(m, read_program(registry.create("mpi-io-scda")))
+            rebuilt = RankState.collect(res.results)
+            assert hierarchies_equivalent(rebuilt, hierarchy)
+
+    def test_async_drains_before_manifest_commit(self, hierarchy):
+        """The write-behind queue is empty before the commit record: the
+        manifest write is the last write the file system sees, and every
+        data write has retired before it starts."""
+        m = make_machine(4)
+        trace = trace_filesystem(m.fs)
+        run_spmd(
+            m, write_program(hierarchy, registry.create("mpi-io-scda-async"))
+        )
+        trace.detach()
+        writes = trace.ops("write")
+        assert writes and writes[-1].path == "ckpt.manifest"
+        manifest_start = min(
+            e.start for e in writes if e.path == "ckpt.manifest"
+        )
+        data_end = max(e.end for e in writes if e.path == "ckpt")
+        assert manifest_start >= data_end - 1e-12
+
+
+# -- scda on-disk structure ---------------------------------------------------
+
+
+class TestScdaLayoutFormat:
+    BLOCK = 4096
+
+    @pytest.fixture(scope="class")
+    def layout(self, hierarchy):
+        inner = CheckpointLayout(HierarchyMeta.from_hierarchy(hierarchy))
+        return ScdaLayout(inner, block_size=self.BLOCK)
+
+    def test_headers_padding_sections_tile_the_file(self, layout):
+        """File header + padding gaps + section (header, data) pairs cover
+        [0, last section end) exactly once -- no overlap, no hole."""
+        spans = list(layout.header_segments())
+        spans.extend(layout.padding_segments())
+        spans.extend((ext.offset, ext.nbytes) for _, _, ext in layout.sections)
+        spans.sort()
+        pos = 0
+        for off, nbytes in spans:
+            assert off == pos, f"gap or overlap at byte {pos}"
+            pos += nbytes
+        last_end = max(ext.end for _, _, ext in layout.sections)
+        assert pos == last_end
+        # the file rounds up to a whole block
+        assert layout.total_nbytes == -(-last_end // self.BLOCK) * self.BLOCK
+
+    def test_sections_are_block_aligned(self, layout):
+        for name, header_offset, ext in layout.sections:
+            assert header_offset % self.BLOCK == 0, name
+            assert ext.offset == header_offset + SECTION_HEADER_NBYTES, name
+
+    def test_headers_are_fixed_width_ascii(self, layout):
+        blob = layout.header_blob()
+        assert len(blob) == FILE_HEADER_NBYTES + SECTION_HEADER_NBYTES * len(
+            layout.sections
+        )
+        fh = layout.file_header()
+        assert len(fh) == FILE_HEADER_NBYTES
+        assert fh.decode("ascii").startswith("scda-file version=1")
+        assert fh.rstrip(b" \n").endswith(str(layout.total_nbytes).encode())
+        for name, _, ext in layout.sections:
+            sh = layout.section_header(name, ext)
+            assert len(sh) == SECTION_HEADER_NBYTES
+            assert name in sh.decode("ascii")
+
+    def test_validate_headers_names_the_torn_header(self, layout):
+        layout.validate_headers(layout.header_blob())  # clean blob passes
+        blob = bytearray(layout.header_blob())
+        blob[FILE_HEADER_NBYTES + 4] ^= 0xFF  # first section header
+        with pytest.raises(ScdaHeaderError, match="section"):
+            layout.validate_headers(bytes(blob))
+        blob = bytearray(layout.header_blob())
+        blob[3] ^= 0xFF
+        with pytest.raises(ScdaHeaderError, match="file header"):
+            layout.validate_headers(bytes(blob))
+
+    def test_oversized_header_line_is_rejected(self, layout):
+        with pytest.raises(ScdaHeaderError, match="overflow"):
+            ScdaLayout._pad("x" * SECTION_HEADER_NBYTES, SECTION_HEADER_NBYTES)
+
+    def test_block_size_must_hold_the_file_header(self, hierarchy):
+        inner = CheckpointLayout(HierarchyMeta.from_hierarchy(hierarchy))
+        with pytest.raises(ValueError):
+            ScdaLayout(inner, block_size=64)
+
+
+class TestCrc32Combine:
+    @settings(max_examples=80, deadline=None)
+    @given(a=st.binary(max_size=512), b=st.binary(max_size=512))
+    def test_matches_zlib_on_concatenation(self, a, b):
+        assert crc32_combine(
+            zlib.crc32(a), zlib.crc32(b), len(b)
+        ) == zlib.crc32(a + b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(parts=st.lists(st.binary(max_size=128), max_size=8))
+    def test_chains_over_many_pieces(self, parts):
+        crc, whole = 0, b""
+        for p in parts:
+            crc = crc32_combine(crc, zlib.crc32(p), len(p))
+            whole += p
+        assert crc == zlib.crc32(whole)
+
+
+# -- torn scda headers / padding are detected, never silently parsed ---------
+
+
+class TestScdaTornHeaderDetection:
+    def corrupt_and_restart(self, hierarchy, offset, data):
+        m = dump("mpi-io-scda", 2, hierarchy)
+        m.fs.store.open("ckpt").write(offset, data)
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(m, read_program(registry.create("mpi-io-scda")))
+        assert isinstance(
+            ei.value.__cause__, (ScdaHeaderError, ManifestVerificationError)
+        ), ei.value.__cause__
+        return ei.value.__cause__
+
+    def test_torn_file_header(self, hierarchy):
+        self.corrupt_and_restart(hierarchy, 0, b"scdb")
+
+    def test_torn_section_header(self, hierarchy):
+        self.corrupt_and_restart(hierarchy, 4096, b"XXXX")
+
+    def test_scribbled_padding(self, hierarchy):
+        # bytes inside the [128, 4096) alignment gap must stay zero; the
+        # manifest's padding entry catches anything else
+        self.corrupt_and_restart(hierarchy, FILE_HEADER_NBYTES + 8, b"\x01")
+
+    def test_clean_file_still_restores(self, hierarchy):
+        """The detection tests above are not vacuous: the same pipeline
+        with no corruption restores bit-identical state."""
+        m = dump("mpi-io-scda", 2, hierarchy)
+        res = run_spmd(m, read_program(registry.create("mpi-io-scda")))
+        assert hierarchies_equivalent(
+            RankState.collect(res.results), hierarchy
+        )
+
+
+# -- Lustre stripe math vs a per-byte reference model ------------------------
+
+
+class TestLustreStripeLayoutProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        stripe=st.integers(1, 64),
+        count=st.integers(1, 8),
+        nosts=st.integers(1, 8),
+        start=st.integers(0, 7),
+        offset=st.integers(0, 2048),
+        nbytes=st.integers(0, 768),
+    )
+    def test_matches_per_byte_reference(
+        self, stripe, count, nosts, start, offset, nbytes
+    ):
+        count = min(count, nosts)
+        start = start % nosts
+        lay = LustreStripeLayout(
+            stripe_size=stripe, stripe_count=count,
+            ost_count=nosts, start_ost=start,
+        )
+
+        def ref(b):
+            """Byte b -> (ost, local offset): round-robin over the file's
+            stripe_count virtual slots, remapped onto real OSTs from
+            start_ost, packed densely in each OST's local store."""
+            virtual = (b // stripe) % count
+            ost = (start + virtual) % nosts
+            local = (b // (stripe * count)) * stripe + b % stripe
+            return ost, local
+
+        for b in range(offset, offset + nbytes):
+            assert lay.server_of(b) == ref(b)[0]
+            assert lay.local_offset(b) == ref(b)[1]
+
+        expected = sorted(ref(b) for b in range(offset, offset + nbytes))
+        got = sorted(
+            (ost, local + i)
+            for ost, local, size in lay.server_runs(offset, nbytes)
+            for i in range(size)
+        )
+        assert got == expected
+
+        chunks = lay.decompose(offset, nbytes)
+        covered = []
+        for c in chunks:
+            assert c.server == lay.server_of(c.file_offset)
+            assert c.local_offset == lay.local_offset(c.file_offset)
+            covered.extend(range(c.file_offset, c.file_offset + c.size))
+        assert covered == list(range(offset, offset + nbytes))
+
+    def test_geometry_is_validated(self):
+        with pytest.raises(ValueError):
+            LustreStripeLayout(stripe_size=64, stripe_count=0, ost_count=4)
+        with pytest.raises(ValueError):
+            LustreStripeLayout(stripe_size=64, stripe_count=5, ost_count=4)
+        with pytest.raises(ValueError):
+            LustreStripeLayout(
+                stripe_size=64, stripe_count=2, ost_count=4, start_ost=4
+            )
+
+
+# -- LustreFS: lfs setstripe, MDS scaling, hint plumbing ---------------------
+
+
+def make_lustre_fs(**kw):
+    defaults = dict(
+        nosts=4,
+        stripe_size=4096,
+        stripe_count=2,
+        disk_bandwidth=1e9,
+        seek_time=0.0,
+        mds_open_time=1e-3,
+        mds_per_file_time=1e-4,
+    )
+    defaults.update(kw)
+    return LustreFS("lfs-test", **defaults)
+
+
+class TestLustreFS:
+    def test_setstripe_clamps_to_ost_count(self):
+        fs = make_lustre_fs()
+        fs.set_file_striping("ckpt", stripe_count=64)
+        lay = fs.layout_for("ckpt")
+        assert lay.stripe_count == 4
+        assert lay.start_ost == 0  # explicit layouts pin OST 0
+
+    def test_setstripe_without_knobs_keeps_volume_default(self):
+        fs = make_lustre_fs()
+        fs.set_file_striping("ckpt")
+        assert fs.layout_for("ckpt") is fs.layout
+
+    def test_setstripe_partial_knobs_inherit_the_rest(self):
+        fs = make_lustre_fs()
+        fs.set_file_striping("a", stripe_size=8192)
+        lay = fs.layout_for("a")
+        assert lay.stripe_size == 8192
+        assert lay.stripe_count == fs.default_stripe_count
+
+    def test_default_layouts_rotate_over_osts(self):
+        fs = make_lustre_fs()  # 4 OSTs, default 2-wide
+        fs._service_meta("create", "f0", 0, 0.0)
+        fs._service_meta("create", "f1", 0, 0.0)
+        assert fs.layout_for("f0").start_ost == 0
+        assert fs.layout_for("f1").start_ost == 2
+
+    def test_mds_cost_grows_with_tracked_files(self):
+        """The single-MDS explosion: each namespace op pays for every file
+        the MDS already tracks, so per-op latency rises monotonically."""
+        fs = make_lustre_fs(mds_per_file_time=1e-3)
+        ts = [fs._service_meta("create", f"f{i}", 0, 0.0) for i in range(20)]
+        deltas = [b - a for a, b in zip(ts, ts[1:])]
+        assert deltas == sorted(deltas)
+        assert deltas[-1] > deltas[0]
+
+    def test_delete_forgets_the_file(self):
+        fs = make_lustre_fs()
+        fs._service_meta("create", "f0", 0, 0.0)
+        assert fs.layout_for("f0") is not fs.layout
+        fs._service_meta("delete", "f0", 0, 0.0)
+        assert fs.layout_for("f0") is fs.layout
+
+    def test_describe_names_the_geometry(self):
+        d = make_lustre_fs().describe()
+        assert "4 OSTs" in d and "single MDS" in d
+
+
+def test_striping_hints_reach_the_filesystem(hierarchy):
+    """mpi-io-lustre's striping_factor/striping_unit hints land as an
+    lfs-setstripe on the checkpoint file at open."""
+    m = lustre_preset(nprocs=2)
+    run_spmd(m, write_program(hierarchy, registry.create("mpi-io-lustre")))
+    lay = m.fs.layout_for("ckpt")
+    assert lay.stripe_count == 16  # widened from the volume default of 4
+    assert lay.stripe_size == 1 << 20
+
+
+def test_stripe_headroom_is_lustre_specific():
+    assert stripe_headroom_of(lustre_preset(nprocs=2)) == 16
+    assert stripe_headroom_of(origin2000(nprocs=2)) == 0
+
+
+@pytest.mark.regression
+def test_autotuner_retunes_stripes_on_lustre():
+    """On a misaligned Lustre workload the tuner proposes widening the
+    file's stripe count to all OSTs and bandwidth strictly improves."""
+    tuner = AutoTuner(
+        lambda n: lustre_preset(nprocs=n),
+        problem="AMR16",
+        nprocs=4,
+        strategy="mpi-io",
+        max_rounds=2,
+    )
+    report = tuner.tune()
+    applied = [a for s in report.steps for a in s.applied]
+    assert "striping_factor=16" in applied
+    assert report.bandwidth_delta > 0

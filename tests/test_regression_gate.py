@@ -46,7 +46,8 @@ class TestMatrixDefinitions:
 
     def test_every_figure_is_covered(self):
         figures = {c.figure for c in MATRIX}
-        assert figures == {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+        assert figures == {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                           "lustre", "scda"}
 
     def test_trend_endpoints_exist_and_ids_unique(self):
         ids = {c.id for c in MATRIX}
@@ -55,7 +56,7 @@ class TestMatrixDefinitions:
         for t in TRENDS:
             assert t.left in ids, t.id
             assert t.right in ids, t.id
-            assert t.relation in ("gt", "ge", "lt", "le")
+            assert t.relation in ("gt", "ge", "lt", "le", "eq")
 
     def test_issue_mandated_trends_are_present(self):
         tids = {t.id for t in TRENDS}
@@ -129,7 +130,7 @@ def fake_payload():
         "bytes_written": 1000, "bytes_read": 500,
         "fs_write_requests": 10, "fs_read_requests": 5,
         "fs_recoveries": 0, "trace_events": 15,
-        "trace_digest": "sha256:aaaa",
+        "trace_digest": "sha256:aaaa", "file_digest": "",
     }
     other = dict(cell, strategy="hdf4", write_bw=50.0, trace_digest="sha256:bbbb")
     return {
