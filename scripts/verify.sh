@@ -24,10 +24,18 @@ if command -v ruff >/dev/null 2>&1; then
         tests/test_resilience_faults.py tests/test_resilience_manifest.py \
         tests/test_resilience_roundtrip.py tests/test_crash_consistency.py \
         tests/test_cli_errors.py tests/test_insights_resilience.py \
-        tests/test_iostack.py tests/test_aio.py
+        tests/test_iostack.py tests/test_aio.py tests/test_scenarios.py
 else
     echo "ruff not installed; lint gate skipped"
 fi
+
+echo "== scenario registry lint (parse, normalize, build) =="
+python -m repro scenarios --check
+
+echo "== param-file ingestion end-to-end (verbatim FOGGIE file, 8x downscale) =="
+python -m repro analyze --param-file examples/scenarios/foggie_25Mpc_DM_256-L2.enzo \
+    --downscale 8 --procs 4 --save-trace BENCH_foggie.trace.json >/dev/null
+python -m repro insights BENCH_foggie.trace.json
 
 echo "== paper-figure regression gate (Figures 5-10 vs BENCH_figures.json) =="
 python -m repro regress --quiet --out BENCH_figures.current.json

@@ -100,6 +100,20 @@ class Grid:
             and self.particles.equal(other.particles)
         )
 
+    def copy(self) -> "Grid":
+        """Deep copy: fields, particles, edges and child list are all fresh."""
+        return Grid(
+            id=self.id,
+            level=self.level,
+            dims=self.dims,
+            left_edge=self.left_edge.copy(),
+            right_edge=self.right_edge.copy(),
+            fields=self.fields.copy(),
+            particles=self.particles.copy(),
+            parent_id=self.parent_id,
+            child_ids=list(self.child_ids),
+        )
+
     @classmethod
     def make_root(cls, dims: tuple[int, int, int], grid_id: int = 0) -> "Grid":
         """The root grid covering the unit cube."""

@@ -108,6 +108,20 @@ class GridHierarchy:
             g.child_ids = [c for c in g.child_ids if c not in removed_set]
         return removed
 
+    def copy(self) -> "GridHierarchy":
+        """Deep copy of the whole tree (grids, fields, particles).
+
+        The ``lru_cache``'d workload builders hand out copies so a caller
+        that mutates its hierarchy (``EnzoSimulation`` evolves it in
+        place on rank 0) can never poison the cache for the next run.
+        """
+        out = GridHierarchy(self.root.copy())
+        for grid in self.grids():
+            if grid.id != self.root_id:
+                out._grids[grid.id] = grid.copy()
+        out._next_id = self._next_id
+        return out
+
     # -- summaries ------------------------------------------------------------------
 
     def total_cells(self) -> int:

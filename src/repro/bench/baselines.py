@@ -62,9 +62,10 @@ class Cell:
     figure: str
     strategy: str  # "hdf4" | "mpi-io" | "hdf5" | fig5: "two-phase"/"independent"
     nprocs: int
-    problem: str  # AMR problem size ("-" for the fig5 access-pattern cells)
+    problem: str  # scenario name ("-" for the fig5 access-pattern cells)
     machine: str  # topology preset name
     do_read: bool = True
+    read_op: str = "initial"  # "initial" | "restart" (the read path measured)
 
     @property
     def id(self) -> str:
@@ -88,6 +89,11 @@ class Trend:
     >= 70% of the raw format's bandwidth"); the ``eq`` relation compares
     verbatim and is how string metrics -- the scda partition-invariance
     file digests -- are pinned.
+
+    ``right_metric`` reads a *different* metric on the right-hand cell
+    ("plot bytes stay below checkpoint bytes on the same run"), which is
+    how the scenario cadence cells compare their two output streams
+    without needing a second cell.
     """
 
     id: str
@@ -99,6 +105,7 @@ class Trend:
     left_div: str | None = None  # cell id dividing the left metric
     right_div: str | None = None  # cell id dividing the right metric
     rfactor: float = 1.0  # right-hand scale factor (numeric metrics only)
+    right_metric: str | None = None  # metric read on the right cell (default: metric)
 
     @property
     def cells(self) -> tuple[str, ...]:
@@ -180,6 +187,18 @@ MATRIX: tuple[Cell, ...] = tuple(
     + _grid("scda", "origin2000", "AMR32", ["mpi-io-scda"], [1, 2, 4, 8])
     + _grid("scda", "origin2000", "AMR32", ["mpi-io-scda-async"], [8],
             do_read=False)
+    # Parameter-file scenarios (repro.scenarios): the gated workloads that
+    # exercise the ingestion layer end to end.  foggie-nested's deep zoom
+    # hierarchy inflates the metadata share of the file-per-grid layout;
+    # nyx-plotfile runs the two-stream Enzo driver (plot cadence at twice
+    # the checkpoint cadence, plus a redshift-triggered dump); and
+    # flashx-particles measures the particle-heavy *restart* read.
+    + _grid("foggie-nested", "origin2000", "foggie-nested",
+            ["hdf4", "mpi-io"], [4])
+    + [Cell("nyx-plotfile", "mpi-io", 8, "nyx-plotfile", "origin2000",
+            do_read=False)]
+    + [Cell("flashx-particles", "mpi-io", 8, "flashx-particles",
+            "origin2000", read_op="restart")]
 )
 
 
@@ -398,6 +417,61 @@ TRENDS: tuple[Trend, ...] = tuple(
             left="fig6:mpi-io-async:8", left_div="fig6:mpi-io:8",
             relation="ge",
             right="fig6:mpi-io-async:4", right_div="fig6:mpi-io:4",
+        ),
+    ]
+    # -- parameter-file scenarios: the qualitative claims each gated
+    # workload was added to pin.
+    + [
+        Trend(
+            id="foggie-file-per-grid-requests",
+            description="on the FOGGIE-style deep zoom hierarchy (nested "
+            "initial grids + must-refine regions feeding many small deep "
+            "grids) the file-per-grid layout issues more file-system "
+            "write requests per megabyte than the shared-file collective "
+            "layout on the same workload",
+            metric="write_requests_per_mb",
+            left="foggie-nested:hdf4:4", relation="gt",
+            right="foggie-nested:mpi-io:4",
+        ),
+        Trend(
+            id="foggie-shared-file-dodges-namespace",
+            description="the shared-file strategy's metadata share is "
+            "insensitive to the deep nesting that inflates hdf4's: on the "
+            "same foggie-nested workload mpi-io keeps a lower metadata "
+            "ratio than the file-per-grid layout",
+            metric="meta_ratio",
+            left="foggie-nested:mpi-io:4", relation="lt",
+            right="foggie-nested:hdf4:4",
+        ),
+        Trend(
+            id="nyx-plot-cadence-doubles-dumps",
+            description="the Nyx parameter file's plot_int=1 / check_int=2 "
+            "cadence emits twice as many plot files as checkpoints over "
+            "the run",
+            metric="plot_dumps",
+            left="nyx-plotfile:mpi-io:8", relation="ge",
+            right="nyx-plotfile:mpi-io:8", right_metric="ckpt_dumps",
+            rfactor=2.0,
+        ),
+        Trend(
+            id="nyx-plot-payload-lighter",
+            description="plot files carry a field subset and no particles, "
+            "so the whole plot stream moves fewer bytes than the "
+            "checkpoint stream of the same run despite dumping twice as "
+            "often",
+            metric="plot_bytes",
+            left="nyx-plotfile:mpi-io:8", relation="lt",
+            right="nyx-plotfile:mpi-io:8", right_metric="ckpt_bytes",
+        ),
+        Trend(
+            id="flashx-particles-read-share",
+            description="the particle-heavy restart (8x the particles per "
+            "cell, whole-subgrid round-robin reads) shifts the run's time "
+            "balance toward the read phase compared to the flat AMR32 "
+            "initial-read cell on the same machine",
+            metric="read_share",
+            left="flashx-particles:mpi-io:8", relation="gt",
+            right="fig6:mpi-io:8",
         ),
     ]
 )

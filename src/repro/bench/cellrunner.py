@@ -108,8 +108,9 @@ def evaluate_trend(t, records: dict) -> dict:
     relation) are compared verbatim; ratio divisors and the right-hand
     scale factor only apply to numeric metrics.
     """
+    rmetric = getattr(t, "right_metric", None) or t.metric
     lhs = records[t.left][t.metric]
-    rhs = records[t.right][t.metric]
+    rhs = records[t.right][rmetric]
     out = {
         "id": t.id,
         "description": t.description,
@@ -118,6 +119,8 @@ def evaluate_trend(t, records: dict) -> dict:
         "relation": t.relation,
         "right": t.right,
     }
+    if rmetric != t.metric:
+        out["right_metric"] = rmetric
     if isinstance(lhs, str) or isinstance(rhs, str):
         out["lhs"], out["rhs"] = lhs, rhs
         out["ok"] = t.holds(lhs, rhs)
@@ -126,7 +129,7 @@ def evaluate_trend(t, records: dict) -> dict:
         lhs /= records[t.left_div][t.metric] or 1.0
         out["left_div"] = t.left_div
     if t.right_div is not None:
-        rhs /= records[t.right_div][t.metric] or 1.0
+        rhs /= records[t.right_div][rmetric] or 1.0
         out["right_div"] = t.right_div
     rfactor = getattr(t, "rfactor", 1.0)
     if rfactor != 1.0:

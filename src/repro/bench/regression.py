@@ -64,6 +64,16 @@ __all__ = [
 #: Integer per-cell metrics that must match the baseline exactly (they are
 #: request/byte counters of a deterministic run; a drift here is a
 #: behaviour change even when the bandwidth band still holds).
+#: Scenario cadence counters: only present on cadence-cell records (the
+#: comparison treats absent-on-both-sides as a match).
+CADENCE_METRICS = (
+    "ckpt_dumps",
+    "plot_dumps",
+    "redshift_dumps",
+    "ckpt_bytes",
+    "plot_bytes",
+)
+
 EXACT_METRICS = (
     "bytes_written",
     "bytes_read",
@@ -72,7 +82,7 @@ EXACT_METRICS = (
     "fs_recoveries",
     "trace_events",
     "file_digest",
-)
+) + CADENCE_METRICS
 
 #: Banded per-cell metrics (relative tolerance).
 BANDED_METRICS = ("write_bw", "read_bw")
@@ -163,12 +173,20 @@ def _run_figure_cell(cell: Cell, hints: Hints | None) -> dict:
             "takes no MPI-IO hints"
         )
     strategy = _make_strategy(cell.strategy, hints)
+    # The "initial" read path measures the new-simulation read of the
+    # pre-refined initial grids; "restart" reads the dump itself back
+    # (round-robin whole-subgrid reads), so no separate read hierarchy.
+    read_op = getattr(cell, "read_op", "initial")
+    read_hierarchy = (
+        build_initial_workload(cell.problem) if read_op == "initial" else None
+    )
     result, trace = run_traced_experiment(
         machine,
         strategy,
         build_workload(cell.problem),
         nprocs=cell.nprocs,
-        read_hierarchy=build_initial_workload(cell.problem),
+        read_hierarchy=read_hierarchy,
+        read_op=read_op,
         do_read=cell.do_read,
     )
     file_digest = ""
@@ -246,11 +264,91 @@ def _run_overlap_cell(cell: Cell, hints: Hints | None) -> dict:
     )
 
 
+def _is_cadence_cell(cell: Cell) -> bool:
+    """True for cells whose scenario runs the two-stream Enzo driver.
+
+    A scenario with a plot-file cadence or redshift-triggered dumps cannot
+    be measured by the bare checkpoint experiment -- the paper-style cell
+    writes one dump, but the scenario's point is its output *schedule*.
+    """
+    from ..scenarios import registry as scenario_registry
+
+    try:
+        s = scenario_registry.get(cell.problem)
+    except (KeyError, ValueError):
+        return False
+    return bool(s.plot_every or s.output_redshifts)
+
+
+def _run_cadence_cell(cell: Cell, hints: Hints | None) -> dict:
+    """Run a scenario's full output schedule through the Enzo driver.
+
+    Checkpoints (cadence + redshift-triggered) go through the cell's
+    strategy; plot files go through the dedicated plot-file writer.  The
+    record carries per-stream dump counts and byte totals so the cadence
+    trends can compare the two streams of the same run.
+    """
+    from ..enzo.simulation import EnzoConfig, EnzoSimulation
+    from ..iostack import registry
+    from ..scenarios import registry as scenario_registry
+    from .runners import _merge_phases, _sum_phases
+
+    machine = PRESETS[cell.machine](nprocs=cell.nprocs)
+    if hints is not None and not registry.get(cell.strategy).takes_hints:
+        raise ValueError(
+            f"cannot perturb {cell.id}: the {cell.strategy} strategy "
+            "takes no MPI-IO hints"
+        )
+    strategy = _make_strategy(cell.strategy, hints)
+    config = EnzoConfig.from_scenario(scenario_registry.get(cell.problem))
+    sim = EnzoSimulation(
+        config=config,
+        strategy=strategy,
+        hierarchy=EnzoSimulation.build_initial_hierarchy(config),
+    )
+    machine.reset_timing()
+    machine.fs.counters.reset()
+    trace = trace_filesystem(machine.fs, include_meta=True)
+    try:
+        res = run_spmd(
+            machine, lambda comm: sim.run(comm, base="dump"),
+            nprocs=cell.nprocs,
+        )
+    finally:
+        trace.detach()
+    summaries = res.results
+    write_s = max(s["write_time"] + s["plot_time"] for s in summaries)
+    counters = machine.fs.counters
+    return _record(
+        cell,
+        write_s=write_s,
+        read_s=0.0,
+        write_phases=_merge_phases(
+            [_sum_phases(s["write_stats"]) for s in summaries]
+        ),
+        read_phases={},
+        bytes_written=counters.bytes_written,
+        bytes_read=0,
+        fs_write_requests=counters.writes,
+        fs_read_requests=0,
+        fs_recoveries=counters.recoveries,
+        trace=trace,
+        extra={
+            "ckpt_dumps": len(summaries[0]["dumps"]),
+            "plot_dumps": len(summaries[0]["plot_dumps"]),
+            "redshift_dumps": len(summaries[0]["redshift_dumps"]),
+            "ckpt_bytes": sum(int(s["ckpt_bytes"]) for s in summaries),
+            "plot_bytes": sum(int(s["plot_bytes"]) for s in summaries),
+        },
+    )
+
+
 def _record(cell: Cell, *, trace, **kw) -> dict:
     mb = 2**20
     write_s, read_s = float(kw["write_s"]), float(kw["read_s"])
     bytes_written, bytes_read = int(kw["bytes_written"]), int(kw["bytes_read"])
-    return {
+    total_s = write_s + read_s
+    record = {
         "figure": cell.figure,
         "machine": cell.machine,
         "problem": cell.problem,
@@ -276,7 +374,16 @@ def _record(cell: Cell, *, trace, **kw) -> dict:
         "trace_events": len(trace),
         "trace_digest": trace.digest(),
         "file_digest": str(kw.get("file_digest", "")),
+        # Derived ratios the scenario trends compare (deterministic
+        # functions of the digest-pinned trace and counters above).
+        "meta_ratio": round(trace.metadata_ratio(), 6),
+        "read_share": round(read_s / total_s, 6) if total_s > 0 else 0.0,
+        "write_requests_per_mb": round(
+            int(kw["fs_write_requests"]) / (bytes_written / mb), 6
+        ) if bytes_written else 0.0,
     }
+    record.update(kw.get("extra") or {})
+    return record
 
 
 def run_cell(cell: Cell, *, hints: Hints | None = None) -> dict:
@@ -290,6 +397,8 @@ def run_cell(cell: Cell, *, hints: Hints | None = None) -> dict:
         return _run_pattern_cell(cell, hints)
     if _is_async_strategy(cell.strategy):
         return _run_overlap_cell(cell, hints)
+    if _is_cadence_cell(cell):
+        return _run_cadence_cell(cell, hints)
     return _run_figure_cell(cell, hints)
 
 

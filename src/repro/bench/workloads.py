@@ -1,57 +1,95 @@
-"""Benchmark workloads: the ENZO problem sizes as ready-made hierarchies.
+"""Benchmark workloads: named scenarios as ready-made hierarchies.
 
-``AMR64``/``AMR128``/``AMR256`` are the paper's sizes; the scaled-down
-``AMR16``/``AMR32`` exist so the full benchmark matrix also runs quickly on
-a laptop.  Hierarchies are deterministic per (problem, seed) and cached.
+Every workload resolves through the :mod:`repro.scenarios` registry: the
+paper's ``AMR64``/``AMR128``/``AMR256`` sizes (plus the laptop-scale
+``AMR16``/``AMR32``) are built-in scenarios, and the gated parameter-file
+scenarios (``foggie-nested``, ``nyx-plotfile``, ``flashx-particles``)
+come through the same funnel.  Builders accept either a scenario name or
+a :class:`~repro.scenarios.Scenario` object (e.g. one loaded from a
+``--param-file``).
+
+Hierarchies are deterministic per scenario and cached -- but the cache
+holds *masters* and every call returns a deep copy, so callers that
+mutate their hierarchy in place (``EnzoSimulation`` evolves it on rank 0)
+can never poison the next run's workload.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from functools import lru_cache
 
 import numpy as np
 
 from ..amr.grid import Grid
 from ..amr.hierarchy import GridHierarchy
-from ..amr.initial_conditions import make_initial_conditions
 from ..amr.particles import ParticleSet
 from ..amr.partition import BlockPartition, processor_grid
-from ..enzo.simulation import PROBLEM_SIZES
+from ..scenarios import Scenario, build_hierarchy
+from ..scenarios import registry as scenario_registry
 
-__all__ = ["build_workload", "build_scale_workload", "workload_summary"]
+__all__ = [
+    "build_initial_workload",
+    "build_scale_workload",
+    "build_workload",
+    "resolve_scenario",
+    "workload_summary",
+]
 
 
-@lru_cache(maxsize=8)
+def resolve_scenario(problem: str | Scenario) -> Scenario:
+    """A :class:`Scenario` from a registry name or a scenario object.
+
+    Unknown names raise :class:`~repro.scenarios.ScenarioError` with the
+    registry's "choose from ..." message.
+    """
+    if isinstance(problem, Scenario):
+        return problem
+    return scenario_registry.get(str(problem))
+
+
+@lru_cache(maxsize=16)
+def _cached_hierarchy(scenario: Scenario, initial: bool) -> GridHierarchy:
+    return build_hierarchy(scenario, initial=initial)
+
+
+def _overrides(**kwargs) -> dict:
+    return {k: v for k, v in kwargs.items() if v is not None}
+
+
 def build_workload(
-    problem: str = "AMR64",
+    problem: str | Scenario = "AMR64",
     *,
-    seed: int = 0,
-    pre_refine: int = 1,
-    particles_per_cell: float = 0.25,
-    refine_threshold: float = 2.2,
+    seed: int | None = None,
+    pre_refine: int | None = None,
+    particles_per_cell: float | None = None,
+    refine_threshold: float | None = None,
 ) -> GridHierarchy:
-    """The checkpoint-dump hierarchy for one problem size (cached).
+    """The checkpoint-dump hierarchy for one scenario (cached master, copy out).
 
     An evolved-looking hierarchy: a few dozen moderately-sized subgrids
     clustered around the overdensities, which is what a per-cycle data
-    dump writes.
+    dump writes.  Keyword overrides replace the scenario's own values;
+    left at ``None`` they defer to the scenario (so a parameter-file
+    scenario keeps its parsed settings).
     """
-    dims = PROBLEM_SIZES[problem]
-    return make_initial_conditions(
-        dims,
-        particles_per_cell=particles_per_cell,
+    scenario = resolve_scenario(problem)
+    overrides = _overrides(
         seed=seed,
         pre_refine=pre_refine,
+        particles_per_cell=particles_per_cell,
         refine_threshold=refine_threshold,
     )
+    if overrides:
+        scenario = replace(scenario, **overrides)
+    return _cached_hierarchy(scenario, False).copy()
 
 
-@lru_cache(maxsize=8)
 def build_initial_workload(
-    problem: str = "AMR64",
+    problem: str | Scenario = "AMR64",
     *,
-    seed: int = 0,
-    particles_per_cell: float = 0.25,
+    seed: int | None = None,
+    particles_per_cell: float | None = None,
 ) -> GridHierarchy:
     """The new-simulation *initial grids*: root + a few pre-refined subgrids.
 
@@ -60,39 +98,20 @@ def build_initial_workload(
     clustering parameters produce a handful of large patches rather than
     the many small grids of an evolved hierarchy.
     """
-    dims = PROBLEM_SIZES[problem]
-    return make_initial_conditions(
-        dims,
-        particles_per_cell=particles_per_cell,
-        seed=seed,
-        pre_refine=1,
-        refine_threshold=2.6,
-        refine_kwargs={
-            "min_efficiency": 0.05,
-            "max_box_cells": 32768,
-        },
-    )
+    scenario = resolve_scenario(problem)
+    overrides = _overrides(seed=seed, particles_per_cell=particles_per_cell)
+    if overrides:
+        scenario = replace(scenario, **overrides)
+    return _cached_hierarchy(scenario, True).copy()
 
 
 @lru_cache(maxsize=16)
-def build_scale_workload(
+def _cached_scale_hierarchy(
     nprocs: int,
-    *,
-    cells_per_rank_axis: int = 8,
-    subgrid_cells: int = 8,
-    particles_per_rank: int = 8,
+    cells_per_rank_axis: int,
+    subgrid_cells: int,
+    particles_per_rank: int,
 ) -> GridHierarchy:
-    """A weak-scaling checkpoint hierarchy: per-rank work is constant in P.
-
-    The root grid spans ``processor_grid(P) * cells_per_rank_axis`` cells,
-    so every rank's (Block, Block, Block) piece is exactly
-    ``cells_per_rank_axis^3`` cells at any P, and each rank owns one
-    level-1 subgrid of ``subgrid_cells^3`` cells refined inside its own
-    block.  All data is deterministic (index-derived fills, regularly
-    spaced particles) and cheap to build -- no random refinement pass --
-    which is what makes P=1024 hierarchies constructible in well under a
-    second.
-    """
     pgrid = processor_grid(nprocs)
     dims = tuple(p * cells_per_rank_axis for p in pgrid)
     root = Grid.make_root(dims)
@@ -151,6 +170,30 @@ def build_scale_workload(
         )
         hierarchy.add_grid(sub)
     return hierarchy
+
+
+def build_scale_workload(
+    nprocs: int,
+    *,
+    cells_per_rank_axis: int = 8,
+    subgrid_cells: int = 8,
+    particles_per_rank: int = 8,
+) -> GridHierarchy:
+    """A weak-scaling checkpoint hierarchy: per-rank work is constant in P.
+
+    The root grid spans ``processor_grid(P) * cells_per_rank_axis`` cells,
+    so every rank's (Block, Block, Block) piece is exactly
+    ``cells_per_rank_axis^3`` cells at any P, and each rank owns one
+    level-1 subgrid of ``subgrid_cells^3`` cells refined inside its own
+    block.  All data is deterministic (index-derived fills, regularly
+    spaced particles) and cheap to build -- no random refinement pass --
+    which is what makes P=1024 hierarchies constructible in well under a
+    second.  Like the scenario builders, returns a copy of the cached
+    master.
+    """
+    return _cached_scale_hierarchy(
+        nprocs, cells_per_rank_axis, subgrid_cells, particles_per_rank
+    ).copy()
 
 
 def workload_summary(hierarchy: GridHierarchy) -> dict:

@@ -37,7 +37,14 @@ error), ``--no-cache`` (skip the content-addressed result cache, also
 ``REPRO_CACHE=0``) and ``--timings PATH`` (telemetry artifact, default
 ``BENCH_timings.json``).
 
-Common options: ``--problem AMR16|AMR32|AMR64|AMR128`` and ``--procs N``.
+* ``scenarios``                  -- list the workload scenario registry
+  (built-in ``AMR*`` sizes plus the parameter-file scenarios);
+  ``--check`` lints every entry (parse, normalize, build).
+
+Common options: ``--problem AMR16|AMR32|AMR64|AMR128`` and ``--procs N``;
+``analyze``/``simulate``/``tune`` also take ``--scenario NAME`` or
+``--param-file PATH`` (Enzo- or Nyx-dialect, auto-detected) with
+``--downscale K`` to shrink production files to laptop scale.
 """
 
 from __future__ import annotations
@@ -62,6 +69,44 @@ __all__ = ["main"]
 def _make_strategy(name: str, retry=None):
     """Instantiate a registered strategy composition by name."""
     return registry.create(name, retry=retry)
+
+
+def _add_scenario_args(parser) -> None:
+    """The shared workload-selection options (``--problem`` & friends)."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--scenario", default=None, metavar="NAME",
+                       help="run a registered scenario instead of --problem "
+                            "(see 'repro scenarios')")
+    group.add_argument("--param-file", default=None, metavar="PATH",
+                       help="load the workload from an Enzo- or Nyx-style "
+                            "parameter file (dialect auto-detected)")
+    parser.add_argument("--downscale", type=int, default=0, metavar="K",
+                        help="run the scenario at 1/K linear resolution "
+                             "(production parameter files in seconds)")
+
+
+def _resolve_problem(args):
+    """``--problem``/``--scenario``/``--param-file`` to a workload problem.
+
+    Returns a scenario name (str) or a :class:`~repro.scenarios.Scenario`;
+    raises :class:`~repro.scenarios.ScenarioError` for unknown names,
+    unreadable/malformed parameter files, and bad downscale factors --
+    callers print the message and exit 2 (usage error).
+    """
+    from .scenarios import load_param_file
+    from .scenarios import registry as scenario_registry
+
+    problem = args.problem
+    if getattr(args, "scenario", None):
+        problem = scenario_registry.get(args.scenario)
+    if getattr(args, "param_file", None):
+        problem = load_param_file(args.param_file)
+    k = getattr(args, "downscale", 0) or 0
+    if k > 1:
+        if isinstance(problem, str):
+            problem = scenario_registry.get(problem)
+        problem = problem.downscaled(k)
+    return problem
 
 
 def _retry_policy(args):
@@ -260,6 +305,7 @@ def cmd_analyze(args) -> int:
     from .core import format_trace_report, trace_filesystem
     from .enzo import RankState
     from .mpi import run_spmd
+    from .scenarios import ScenarioError
 
     if args.trace:
         trace = _load_trace(args.trace)
@@ -269,7 +315,12 @@ def cmd_analyze(args) -> int:
         return 0
 
     machine = origin2000(nprocs=args.procs or 8)
-    hierarchy = build_workload(args.problem)
+    try:
+        problem = _resolve_problem(args)
+        hierarchy = build_workload(problem)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     trace = trace_filesystem(machine.fs, include_meta=True)
     strategy = _make_strategy(args.strategy, retry=_retry_policy(args))
 
@@ -280,7 +331,7 @@ def cmd_analyze(args) -> int:
     run_spmd(machine, program, nprocs=args.procs or 8)
     print(
         format_trace_report(
-            trace, title=f"{strategy.name} dump of {args.problem}"
+            trace, title=f"{strategy.name} dump of {problem}"
         )
     )
     if args.save_trace:
@@ -319,16 +370,18 @@ def cmd_tune(args) -> int:
     import json
 
     from .insights import AutoTuner
+    from .scenarios import ScenarioError
 
     preset = PRESETS[args.machine]
     try:
+        problem = _resolve_problem(args)
         registry.check_filesystem(args.strategy, preset(nprocs=args.procs).fs)
-    except ValueError as exc:
+    except (ScenarioError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     tuner = AutoTuner(
         lambda n: preset(nprocs=n),
-        problem=args.problem,
+        problem=problem,
         nprocs=args.procs,
         strategy=args.strategy,
         max_rounds=args.rounds,
@@ -351,17 +404,31 @@ def cmd_simulate(args) -> int:
         hierarchies_equivalent,
     )
     from .mpi import run_spmd
+    from .scenarios import Scenario, ScenarioError
 
     from .sim.errors import RankFailedError
 
-    config = EnzoConfig(problem=args.problem, ncycles=args.cycles)
     machine = origin2000(nprocs=args.procs or 8)
+    try:
+        problem = _resolve_problem(args)
+        overrides = {} if args.cycles is None else {"ncycles": args.cycles}
+        if isinstance(problem, Scenario):
+            # Scenario-driven run: the parameter file's cadence (plot
+            # stream, redshift dumps, checkpoint interval) applies.
+            config = EnzoConfig.from_scenario(problem, **overrides)
+        else:
+            config = EnzoConfig(problem=problem,
+                                ncycles=args.cycles if args.cycles else 2)
+        hierarchy = EnzoSimulation.build_initial_hierarchy(config)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.inject and not _arm_fault(machine.fs, args.inject):
         return 2
     sim = EnzoSimulation(
         config=config,
         strategy=_make_strategy(args.strategy, retry=_retry_policy(args)),
-        hierarchy=EnzoSimulation.build_initial_hierarchy(config),
+        hierarchy=hierarchy,
     )
     try:
         results = run_spmd(machine, lambda c: sim.run(c, base="run"),
@@ -375,6 +442,15 @@ def cmd_simulate(args) -> int:
     summary = results.results[0]
     print(f"{summary['cycles']} cycles, {summary['grids']} grids, "
           f"dump time {summary['write_time']:.3f}s (rank 0, simulated)")
+    if summary["plot_dumps"] or summary["redshift_dumps"]:
+        print(f"{len(summary['plot_dumps'])} plot file(s) "
+              f"({summary['plot_bytes'] / 2**20:.1f} MB), "
+              f"{len(summary['redshift_dumps'])} redshift dump(s)")
+    if not summary["dumps"]:
+        # e.g. amr.checkpoint_files_output=0: nothing to restart from.
+        print("no checkpoints written (checkpoint stream disabled); "
+              "skipping restart verification")
+        return 0
     last = summary["dumps"][-1]
     try:
         restart = run_spmd(machine, lambda c: sim.restart(c, last),
@@ -441,6 +517,63 @@ def cmd_strategies(args) -> int:
     for comp in registry.compositions():
         if comp.description:
             print(f"  {comp.name}: {comp.description}")
+    return 0
+
+
+def cmd_scenarios(args) -> int:
+    """List the scenario registry; ``--check`` lints every entry."""
+    from .scenarios import ScenarioError
+    from .scenarios import registry as scenario_registry
+
+    rows = []
+    for s in scenario_registry.scenarios():
+        cadence = []
+        if s.checkpoint_every:
+            cadence.append(f"ckpt/{s.checkpoint_every}")
+        if s.plot_every:
+            cadence.append(f"plot/{s.plot_every}")
+        if s.output_redshifts:
+            cadence.append(f"z x{len(s.output_redshifts)}")
+        rows.append([
+            s.name,
+            s.source_dialect,
+            "x".join(str(d) for d in s.root_dims),
+            str(s.max_level),
+            str(len(s.nested_grids)) if s.nested_grids else "-",
+            str(s.ncycles),
+            " ".join(cadence) or "-",
+        ])
+    print("registered scenarios (repro.scenarios.registry)")
+    print(format_table(
+        ["name", "dialect", "root", "maxL", "nested", "cycles", "cadence"],
+        rows,
+    ))
+    for s in scenario_registry.scenarios():
+        if s.description:
+            print(f"  {s.name}: {s.description}")
+    if not args.check:
+        return 0
+
+    # Lint: every registered scenario must validate and build a hierarchy
+    # (capped to laptop scale so the 256^3 entries stay fast).
+    from .scenarios import build_hierarchy
+
+    failures = 0
+    for s in scenario_registry.scenarios():
+        try:
+            s.validate()
+            h = build_hierarchy(s.capped(32), initial=True)
+            print(f"  ok: {s.name} ({len(h)} grids, max level "
+                  f"{h.max_level})")
+        except (ScenarioError, ValueError) as exc:
+            failures += 1
+            print(f"  FAIL: {s.name}: {exc}", file=sys.stderr)
+    if failures:
+        print(f"scenario check: {failures} scenario(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"scenario check: all {len(scenario_registry.names())} "
+          "scenario(s) parse, normalize and build")
     return 0
 
 
@@ -762,6 +895,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     a = sub.add_parser("analyze", help="trace a dump and print the report")
     a.add_argument("--problem", default="AMR32")
+    _add_scenario_args(a)
     a.add_argument("--procs", type=int, default=8)
     a.add_argument("--strategy", choices=sorted(registry.names()), default="mpi-io")
     a.add_argument("--trace", default=None, metavar="PATH",
@@ -795,6 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
         "tune", help="closed-loop auto-tune: diagnose, retune, re-run"
     )
     t.add_argument("--problem", default="AMR32")
+    _add_scenario_args(t)
     t.add_argument("--procs", type=int, default=8)
     t.add_argument("--strategy", choices=sorted(registry.names()), default="hdf4",
                    help="baseline strategy to start from (default hdf4)")
@@ -823,6 +958,14 @@ def build_parser() -> argparse.ArgumentParser:
         "strategies",
         help="list registered I/O strategy compositions",
     )
+
+    sn = sub.add_parser(
+        "scenarios",
+        help="list registered workload scenarios (--check lints them)",
+    )
+    sn.add_argument("--check", action="store_true",
+                    help="validate + build every registered scenario "
+                         "(capped resolution); exit 1 on any failure")
 
     r = sub.add_parser(
         "regress",
@@ -919,8 +1062,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("simulate", help="run the full ENZO flow")
     s.add_argument("--problem", default="AMR32")
+    _add_scenario_args(s)
     s.add_argument("--procs", type=int, default=8)
-    s.add_argument("--cycles", type=int, default=2)
+    s.add_argument("--cycles", type=int, default=None,
+                   help="evolution cycles (default: the scenario's own "
+                        "cycle count, or 2 for plain --problem runs)")
     s.add_argument("--strategy", choices=sorted(registry.names()), default="mpi-io")
     s.add_argument("--retries", type=int, default=0, metavar="N",
                    help="retry transient I/O faults up to N times")
@@ -943,6 +1089,7 @@ def main(argv=None) -> int:
         "simulate": cmd_simulate,
         "table": cmd_table,
         "strategies": cmd_strategies,
+        "scenarios": cmd_scenarios,
         "regress": cmd_regress,
         "scale": cmd_scale,
         "overlap": cmd_overlap,

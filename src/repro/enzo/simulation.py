@@ -16,6 +16,8 @@ are fully simulated.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 
 from ..amr.hierarchy import GridHierarchy
@@ -24,27 +26,37 @@ from ..amr.refinement import refine_hierarchy
 from ..amr.solver import evolve_hierarchy
 from ..mpi import collectives as coll
 from ..mpi.comm import Comm
+from ..scenarios import Scenario
+from ..scenarios import registry as scenario_registry
 from .io_base import IOStats, IOStrategy
+from .plotfile import write_plotfile
 from .state import RankState
 
 __all__ = ["EnzoConfig", "EnzoSimulation", "PROBLEM_SIZES"]
 
-#: The paper's three problem sizes (grid dimensionality per Section 4).
+#: The paper's problem sizes (grid dimensionality per Section 4), now just
+#: a view of the scenario registry's ``AMR*`` built-ins.  Kept for
+#: backward compatibility; new code should resolve scenarios by name.
 PROBLEM_SIZES = {
-    "AMR64": (64, 64, 64),
-    "AMR128": (128, 128, 128),
-    "AMR256": (256, 256, 256),
-    # Scaled-down variants for fast tests and laptop benches.
-    "AMR16": (16, 16, 16),
-    "AMR32": (32, 32, 32),
+    name: scenario_registry.get(name).root_dims
+    for name in scenario_registry.names()
+    if name.startswith("AMR")
 }
 
 
 @dataclass
 class EnzoConfig:
-    """Simulation parameters."""
+    """Simulation parameters.
 
-    problem: str = "AMR64"
+    ``problem`` is a scenario name (resolved through the scenario
+    registry) or a :class:`~repro.scenarios.Scenario` object, e.g. one
+    loaded from a parameter file.  The cadence fields model Enzo/Nyx's
+    two output streams: full restartable checkpoints every
+    ``dump_every`` cycles, lightweight plot files every ``plot_every``
+    cycles (either 0 = stream off), plus redshift-triggered checkpoints.
+    """
+
+    problem: str | Scenario = "AMR64"
     ncycles: int = 3
     dump_every: int = 1
     particles_per_cell: float = 0.25
@@ -59,18 +71,70 @@ class EnzoConfig:
     #: strategy, e.g. the ``mpi-io-async`` composition; synchronous
     #: strategies dump inline regardless)
     overlap: bool = False
+    #: plot-file stream cadence (0 = off) and its field subset.
+    plot_every: int = 0
+    plot_fields: tuple[str, ...] = ("density",)
+    #: redshift-triggered checkpoint dumps (require a redshift range).
+    output_redshifts: tuple[float, ...] = ()
+    initial_redshift: float = 0.0
+    final_redshift: float = 0.0
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario, **overrides) -> "EnzoConfig":
+        """An :class:`EnzoConfig` running a scenario's workload + cadence."""
+        kwargs = dict(
+            problem=scenario,
+            ncycles=scenario.ncycles,
+            dump_every=scenario.checkpoint_every,
+            particles_per_cell=scenario.particles_per_cell,
+            seed=scenario.seed,
+            pre_refine=scenario.pre_refine,
+            max_level=scenario.max_level,
+            refine_threshold=scenario.refine_threshold,
+            plot_every=scenario.plot_every,
+            plot_fields=scenario.plot_fields,
+            output_redshifts=scenario.output_redshifts,
+            initial_redshift=scenario.initial_redshift,
+            final_redshift=scenario.final_redshift,
+        )
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    def scenario(self) -> Scenario:
+        """The scenario behind ``problem`` (registry lookup for names)."""
+        if isinstance(self.problem, Scenario):
+            return self.problem
+        return scenario_registry.get(str(self.problem))
 
     @property
     def root_dims(self) -> tuple[int, int, int]:
-        try:
-            return PROBLEM_SIZES[self.problem]
-        except KeyError:
-            raise ValueError(
-                f"unknown problem {self.problem!r}; choose from {sorted(PROBLEM_SIZES)}"
-            ) from None
+        # Unknown names raise ScenarioError (a ValueError) with the same
+        # "choose from ..." message the CLI's --scenario path prints.
+        return tuple(self.scenario().root_dims)
 
     def n_dumps(self) -> int:
-        return len([c for c in range(1, self.ncycles + 1) if c % self.dump_every == 0])
+        if self.dump_every <= 0:
+            return 0
+        return len([
+            c for c in range(1, self.ncycles + 1)
+            if c % self.dump_every == 0
+        ])
+
+    def redshift_schedule(self) -> list[float]:
+        """Redshift at the end of each cycle, log(1+z)-linear in cycle.
+
+        Real cosmology codes step the expansion factor; the I/O model
+        only needs a monotone z(cycle) so redshift-triggered dumps fire
+        at deterministic cycles.
+        """
+        z0, z1 = self.initial_redshift, self.final_redshift
+        n = self.ncycles
+        out = []
+        for c in range(1, n + 1):
+            frac = c / n
+            lz = math.log1p(z0) * (1.0 - frac) + math.log1p(z1) * frac
+            out.append(math.expm1(lz))
+        return out
 
 
 @dataclass
@@ -91,13 +155,24 @@ class EnzoSimulation:
 
     @staticmethod
     def build_initial_hierarchy(config: EnzoConfig) -> GridHierarchy:
-        """Construct the initial grids (host-side; deterministic)."""
+        """Construct the initial grids (host-side; deterministic).
+
+        Numeric knobs (seed, thresholds, pre-refine depth) come from the
+        config -- historically so, and ``from_scenario`` copies them over
+        -- while the scenario contributes its structural extensions
+        (nested grids, must-refine regions, deep zoom levels), which are
+        empty for the built-in ``AMR*`` sizes.
+        """
+        scenario = config.scenario()
         return make_initial_conditions(
             config.root_dims,
             particles_per_cell=config.particles_per_cell,
             seed=config.seed,
             pre_refine=config.pre_refine,
             refine_threshold=config.refine_threshold,
+            nested_grids=scenario.nested_grids,
+            must_refine=scenario.must_refine,
+            deep_levels=scenario.deep_levels,
         )
 
     # -- the main loop ------------------------------------------------------------
@@ -114,9 +189,16 @@ class EnzoSimulation:
             self.hierarchy, comm.rank, comm.size, policy=cfg.owner_policy
         )
         dumps = []
+        plot_dumps = []
+        redshift_dumps = []
         my_stats = []  # this rank's dump stats (self.write_stats is shared)
+        plot_stats = []
         overlap = cfg.overlap and getattr(self.strategy, "aio", None) is not None
         pending = None  # at most one in-flight dump (double buffering)
+        z_schedule = (
+            cfg.redshift_schedule() if cfg.output_redshifts else []
+        )
+        z_emitted: set[int] = set()
         for cycle in range(1, cfg.ncycles + 1):
             self._evolve_step(comm, state)
             # Mesh adaptation + rebalancing: structure may change, so the
@@ -124,7 +206,7 @@ class EnzoSimulation:
             state = RankState.from_hierarchy(
                 self.hierarchy, comm.rank, comm.size, policy=cfg.owner_policy
             )
-            if cycle % cfg.dump_every == 0:
+            if cfg.dump_every > 0 and cycle % cfg.dump_every == 0:
                 path = f"{base}.cycle{cycle:04d}"
                 if pending is not None:
                     # Commit dump k-1 (drain + manifest) before posting k.
@@ -140,6 +222,23 @@ class EnzoSimulation:
                     my_stats.append(stats)
                     self.write_stats.append(stats)
                 dumps.append(path)
+            if cfg.plot_every > 0 and cycle % cfg.plot_every == 0:
+                path = f"{base}.plt{cycle:04d}"
+                plot_stats.append(write_plotfile(
+                    comm, state, path, fields=cfg.plot_fields, cycle=cycle
+                ))
+                plot_dumps.append(path)
+            if z_schedule:
+                z_now = z_schedule[cycle - 1]
+                for k, z_target in enumerate(cfg.output_redshifts):
+                    if k in z_emitted or z_now > z_target:
+                        continue
+                    path = f"{base}.rd{k:04d}"
+                    stats = self.strategy.write_checkpoint(comm, state, path)
+                    my_stats.append(stats)
+                    self.write_stats.append(stats)
+                    redshift_dumps.append(path)
+                    z_emitted.add(k)
         if pending is not None:
             stats = pending.complete()
             my_stats.append(stats)
@@ -151,6 +250,11 @@ class EnzoSimulation:
             "max_level": self.hierarchy.max_level,
             "write_time": sum(s.elapsed for s in my_stats),
             "write_stats": my_stats,
+            "plot_dumps": plot_dumps,
+            "redshift_dumps": redshift_dumps,
+            "plot_time": sum(s.elapsed for s in plot_stats),
+            "plot_bytes": sum(s.bytes_moved for s in plot_stats),
+            "ckpt_bytes": sum(s.bytes_moved for s in my_stats),
         }
 
     def restart(self, comm: Comm, path: str) -> RankState:

@@ -281,7 +281,10 @@ class AutoTuner:
     def tune(self) -> TuningReport:
         machine_name = self.machine_factory(self.nprocs).name
         report = TuningReport(
-            problem=self.problem, nprocs=self.nprocs, machine=machine_name
+            # str() so a Scenario-valued problem reports its name (and the
+            # JSON export stays serializable).
+            problem=str(self.problem), nprocs=self.nprocs,
+            machine=machine_name,
         )
         strategy, hints = self.strategy, self.hints
         applied: list[str] = []

@@ -1,0 +1,231 @@
+"""Enzo-style ``key = value`` parameter-file dialect.
+
+The grammar follows real Enzo cosmology parameter files (see the FOGGIE
+example under ``examples/scenarios/``): full-line ``#`` comments, trailing
+``//`` comments after the value, arbitrary whitespace (including tabs)
+around ``=``, indexed array keys like ``CosmologyOutputRedshift[0]``, and
+``key=value`` with no spaces at all.  Unknown keys are tolerated -- real
+files carry dozens of physics parameters the I/O model has no use for --
+but a line with several tokens and no ``=`` is a syntax error, not noise.
+
+``parse_enzo`` produces the raw key map, ``normalize_enzo`` turns it into a
+canonical :class:`~repro.scenarios.model.Scenario`, and ``emit_enzo``
+writes a scenario back out in this dialect (which is what the round-trip
+property tests exercise: emit -> parse -> normalize must be idempotent).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .model import MustRefineRegion, NestedGridSpec, Scenario, ScenarioError
+
+__all__ = ["parse_enzo", "normalize_enzo", "emit_enzo"]
+
+_KEY_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_]*(\[\d+\])?$")
+
+
+def parse_enzo(text: str) -> dict[str, str]:
+    """Parse Enzo dialect text into a raw ``{key: value}`` map.
+
+    Values are kept as unsplit strings ("256 256 256"); indexed keys keep
+    their bracket suffix ("CosmologySimulationGridLevel[1]").  Later
+    assignments to the same key win, matching Enzo's own reader.
+    """
+    raw: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        # Trailing // comment (Enzo idiom: "ProblemType = 30 // cosmology").
+        stripped = stripped.split("//", 1)[0].strip()
+        if not stripped:
+            continue
+        if "=" in stripped:
+            key, value = stripped.split("=", 1)
+            key, value = key.strip(), value.strip()
+        else:
+            parts = stripped.split()
+            if len(parts) > 1:
+                raise ScenarioError(
+                    f"line {lineno}: {stripped!r} has several tokens but "
+                    "no '=' (not a key = value assignment)"
+                )
+            key, value = parts[0], ""
+        if not _KEY_RE.match(key):
+            raise ScenarioError(f"line {lineno}: bad parameter key {key!r}")
+        raw[key] = value
+    return raw
+
+
+def _ints(raw: dict[str, str], key: str, n: int | None = None) -> tuple[int, ...]:
+    try:
+        vals = tuple(int(tok) for tok in raw[key].split())
+    except ValueError:
+        raise ScenarioError(
+            f"{key} = {raw[key]!r}: expected integers"
+        ) from None
+    if n is not None and len(vals) != n:
+        raise ScenarioError(f"{key} = {raw[key]!r}: expected {n} values")
+    return vals
+
+
+def _floats(raw: dict[str, str], key: str, n: int | None = None) -> tuple[float, ...]:
+    try:
+        vals = tuple(float(tok) for tok in raw[key].split())
+    except ValueError:
+        raise ScenarioError(
+            f"{key} = {raw[key]!r}: expected numbers"
+        ) from None
+    if n is not None and len(vals) != n:
+        raise ScenarioError(f"{key} = {raw[key]!r}: expected {n} values")
+    return vals
+
+
+def _indexed(raw: dict[str, str], stem: str) -> dict[int, str]:
+    """All ``stem[n]`` entries as ``{n: value}``."""
+    out: dict[int, str] = {}
+    prefix = stem + "["
+    for key, value in raw.items():
+        if key.startswith(prefix) and key.endswith("]"):
+            out[int(key[len(prefix):-1])] = value
+    return out
+
+
+#: How many simulated cycles a scenario run is clamped to.  Real parameter
+#: files say StopCycle = 100000; the I/O model only needs enough cycles to
+#: exercise every dump stream at least once.
+MAX_CYCLES = 4
+
+
+def normalize_enzo(raw: dict[str, str], *, name: str,
+                   description: str = "") -> Scenario:
+    """Normalize a raw Enzo key map into a canonical :class:`Scenario`.
+
+    Normalization rules (documented in docs/architecture.md section 15):
+
+    * ``TopGridDimensions`` -> ``root_dims`` (``TopGridRank`` must be 3
+      when present).
+    * ``CosmologySimulationGrid{Dimension,LeftEdge,RightEdge,Level}[n]``
+      quadruples -> :class:`NestedGridSpec` entries; a grid with any of
+      the four keys missing is an error.
+    * ``MustRefineParticlesCreateParticles > 0`` -> one central half-box
+      must-refine region at ``MustRefineParticlesRefineToLevel`` (real
+      runs read the region from a particle mask file; the model uses the
+      canonical zoom-in geometry).
+    * ``MaximumRefinementLevel`` -> ``max_level``.
+    * ``dtDataDump > 0`` -> ``checkpoint_every = 1`` (the model runs
+      fixed-size steps, so any positive time cadence means "every step").
+    * ``StopCycle`` -> ``ncycles``, clamped to :data:`MAX_CYCLES`.
+    * ``CosmologyOutputRedshift[n]`` -> ``output_redshifts`` (sorted
+      descending -- redshift decreases through a run), with
+      ``CosmologyInitial/FinalRedshift`` as the range.
+    """
+    if "TopGridDimensions" not in raw:
+        raise ScenarioError(f"{name}: missing TopGridDimensions")
+    if "TopGridRank" in raw and _ints(raw, "TopGridRank", 1)[0] != 3:
+        raise ScenarioError(f"{name}: only TopGridRank = 3 is supported")
+    root_dims = _ints(raw, "TopGridDimensions", 3)
+
+    nested = []
+    dims_by_n = _indexed(raw, "CosmologySimulationGridDimension")
+    for n in sorted(dims_by_n):
+        quad = {}
+        for part in ("Dimension", "LeftEdge", "RightEdge", "Level"):
+            key = f"CosmologySimulationGrid{part}[{n}]"
+            if key not in raw:
+                raise ScenarioError(
+                    f"{name}: nested grid {n} is missing {key}"
+                )
+            quad[part] = key
+        nested.append(NestedGridSpec(
+            level=_ints(raw, quad["Level"], 1)[0],
+            dims=_ints(raw, quad["Dimension"], 3),
+            left_edge=_floats(raw, quad["LeftEdge"], 3),
+            right_edge=_floats(raw, quad["RightEdge"], 3),
+        ))
+
+    must_refine: tuple[MustRefineRegion, ...] = ()
+    if int(float(raw.get("MustRefineParticlesCreateParticles", "0") or 0)):
+        level = 1
+        if "MustRefineParticlesRefineToLevel" in raw:
+            level = _ints(raw, "MustRefineParticlesRefineToLevel", 1)[0]
+        must_refine = (MustRefineRegion(
+            level=level,
+            left_edge=(0.25, 0.25, 0.25),
+            right_edge=(0.75, 0.75, 0.75),
+        ),)
+
+    kwargs: dict = {}
+    if "MaximumRefinementLevel" in raw:
+        kwargs["max_level"] = _ints(raw, "MaximumRefinementLevel", 1)[0]
+
+    checkpoint_every = 0
+    if float(raw.get("dtDataDump", "0") or 0) > 0:
+        checkpoint_every = 1
+    ncycles = 3
+    if "StopCycle" in raw:
+        ncycles = max(1, min(MAX_CYCLES, _ints(raw, "StopCycle", 1)[0]))
+
+    redshifts = tuple(
+        float(v) for _, v in sorted(_indexed(
+            raw, "CosmologyOutputRedshift").items())
+    )
+    initial_z = float(raw.get("CosmologyInitialRedshift", "0") or 0)
+    final_z = float(raw.get("CosmologyFinalRedshift", "0") or 0)
+    if redshifts:
+        redshifts = tuple(sorted(redshifts, reverse=True))
+
+    return Scenario(
+        name=name,
+        description=description,
+        source_dialect="enzo",
+        root_dims=root_dims,
+        nested_grids=tuple(nested),
+        must_refine=must_refine,
+        ncycles=ncycles,
+        checkpoint_every=checkpoint_every,
+        output_redshifts=redshifts,
+        initial_redshift=initial_z,
+        final_redshift=final_z,
+        **kwargs,
+    ).validate()
+
+
+def emit_enzo(scenario: Scenario) -> str:
+    """Write a scenario back out in the Enzo dialect (round-trip tests)."""
+    lines = [
+        f"# {scenario.name}: {scenario.description or 'scenario'}",
+        "ProblemType                = 30      // cosmology simulation",
+        "TopGridRank                = 3",
+        "TopGridDimensions          = {} {} {}".format(*scenario.root_dims),
+        f"MaximumRefinementLevel     = {scenario.max_level}",
+    ]
+    for i, spec in enumerate(scenario.nested_grids, 1):
+        lines += [
+            "CosmologySimulationGridDimension[{}] = {} {} {}".format(
+                i, *spec.dims),
+            "CosmologySimulationGridLeftEdge[{}]  = {} {} {}".format(
+                i, *spec.left_edge),
+            "CosmologySimulationGridRightEdge[{}] = {} {} {}".format(
+                i, *spec.right_edge),
+            f"CosmologySimulationGridLevel[{i}]      = {spec.level}",
+        ]
+    if scenario.must_refine:
+        lines += [
+            "MustRefineParticlesCreateParticles = 3",
+            "MustRefineParticlesRefineToLevel   = "
+            f"{scenario.must_refine[0].level}",
+        ]
+    lines += [
+        f"dtDataDump 	 = {10 if scenario.checkpoint_every else 0}",
+        f"StopCycle        = {scenario.ncycles}",
+    ]
+    if scenario.initial_redshift or scenario.final_redshift:
+        lines += [
+            f"CosmologyInitialRedshift   = {scenario.initial_redshift}",
+            f"CosmologyFinalRedshift 	   = {scenario.final_redshift}",
+        ]
+    for i, z in enumerate(scenario.output_redshifts):
+        lines.append(f"CosmologyOutputRedshift[{i}]               = {z}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,201 @@
+"""Nyx/AMReX-style ``amr.*`` parameter-file dialect.
+
+The grammar follows real Nyx inputs files (see the LyA example under
+``examples/scenarios/``): dotted namespaced keys (``amr.n_cell``,
+``nyx.initial_z``, ``geometry.prob_hi``), full-line ``#`` comments,
+multi-token values, values containing slashes (``amr.plot_file = 1/plt``)
+and quoted strings (``amr.probin_file = ""``).  A final truncated line
+consisting of one bare key with no ``=`` (real files end mid-edit like
+this) parses as an empty value; a multi-token line with no ``=`` is a
+syntax error.
+
+Unknown keys are tolerated.  Normalization maps AMReX's step-based dump
+cadence (``amr.plot_int`` / ``amr.check_int`` gated by the
+``*_files_output`` switches) onto the model's per-cycle streams.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .model import Scenario, ScenarioError
+from .enzo_dialect import MAX_CYCLES
+
+__all__ = ["parse_nyx", "normalize_nyx", "emit_nyx"]
+
+_KEY_RE = re.compile(r"^[A-Za-z_][\w]*(\.[\w.]+)*$")
+
+
+def parse_nyx(text: str) -> dict[str, str]:
+    """Parse Nyx dialect text into a raw ``{key: value}`` map."""
+    raw: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if "=" in stripped:
+            key, value = stripped.split("=", 1)
+            key, value = key.strip(), value.strip()
+        else:
+            parts = stripped.split()
+            if len(parts) > 1:
+                raise ScenarioError(
+                    f"line {lineno}: {stripped!r} has several tokens but "
+                    "no '=' (not a key = value assignment)"
+                )
+            key, value = parts[0], ""
+        if not _KEY_RE.match(key):
+            raise ScenarioError(f"line {lineno}: bad parameter key {key!r}")
+        raw[key] = value
+    return raw
+
+
+def _int(raw: dict[str, str], key: str, default: int | None = None) -> int:
+    if key not in raw or raw[key] == "":
+        if default is None:
+            raise ScenarioError(f"missing required key {key}")
+        return default
+    try:
+        return int(raw[key])
+    except ValueError:
+        raise ScenarioError(
+            f"{key} = {raw[key]!r}: expected an integer"
+        ) from None
+
+
+def _float(raw: dict[str, str], key: str, default: float = 0.0) -> float:
+    if key not in raw or raw[key] == "":
+        return default
+    try:
+        return float(raw[key])
+    except ValueError:
+        raise ScenarioError(
+            f"{key} = {raw[key]!r}: expected a number"
+        ) from None
+
+
+def normalize_nyx(raw: dict[str, str], *, name: str,
+                  description: str = "") -> Scenario:
+    """Normalize a raw Nyx key map into a canonical :class:`Scenario`.
+
+    Normalization rules (documented in docs/architecture.md section 15):
+
+    * ``amr.n_cell`` -> ``root_dims``; ``amr.max_level`` -> ``max_level``;
+      ``amr.max_grid_size`` -> ``max_grid_size`` (rejected below the
+      stripe-ish minimum).
+    * ``max_step`` -> ``ncycles``, clamped to the model's cycle budget.
+    * The plot stream runs iff ``amr.plot_files_output`` is nonzero, the
+      checkpoint stream iff ``amr.checkpoint_files_output`` is nonzero
+      (both default on, as in AMReX).  ``amr.plot_int``/``amr.check_int``
+      are step intervals; the model divides both by the smallest enabled
+      interval so the densest stream fires every cycle and the cadence
+      *ratio* -- the thing the I/O analysis cares about -- is preserved.
+    * ``amr.plot_vars`` -> ``plot_fields`` (``ALL``/``NONE`` map to the
+      full set / the density-only default).
+    * ``nyx.initial_z``/``nyx.final_z`` -> the redshift range;
+      ``nyx.analysis_z_values`` -> ``output_redshifts``, keeping only
+      values inside the range.
+    """
+    if "amr.n_cell" not in raw:
+        raise ScenarioError(f"{name}: missing amr.n_cell")
+    try:
+        root_dims = tuple(int(tok) for tok in raw["amr.n_cell"].split())
+    except ValueError:
+        raise ScenarioError(
+            f"amr.n_cell = {raw['amr.n_cell']!r}: expected integers"
+        ) from None
+    if len(root_dims) != 3:
+        raise ScenarioError(
+            f"amr.n_cell = {raw['amr.n_cell']!r}: expected 3 values"
+        )
+
+    max_level = _int(raw, "amr.max_level", 4)
+    max_grid_size = _int(raw, "amr.max_grid_size", 0)
+    ncycles = max(1, min(MAX_CYCLES, _int(raw, "max_step", 3)))
+
+    plot_on = bool(_int(raw, "amr.plot_files_output", 1))
+    check_on = bool(_int(raw, "amr.checkpoint_files_output", 1))
+    plot_int = max(1, _int(raw, "amr.plot_int", 1))
+    check_int = max(1, _int(raw, "amr.check_int", 1))
+    enabled = [iv for iv, on in ((plot_int, plot_on), (check_int, check_on))
+               if on]
+    if enabled:
+        unit = min(enabled)
+        plot_every = max(1, round(plot_int / unit)) if plot_on else 0
+        checkpoint_every = max(1, round(check_int / unit)) if check_on else 0
+    else:
+        plot_every = checkpoint_every = 0
+
+    plot_fields: tuple[str, ...] = ("density",)
+    vars_spec = raw.get("amr.plot_vars", "").strip()
+    if vars_spec and vars_spec.upper() not in ("ALL", "NONE"):
+        plot_fields = tuple(vars_spec.split())
+    elif vars_spec.upper() == "ALL":
+        from ..amr.fields import BARYON_FIELDS
+        plot_fields = tuple(BARYON_FIELDS)
+
+    initial_z = _float(raw, "nyx.initial_z")
+    final_z = _float(raw, "nyx.final_z")
+    redshifts: tuple[float, ...] = ()
+    z_spec = raw.get("nyx.analysis_z_values", "").strip()
+    if z_spec:
+        try:
+            values = tuple(float(tok) for tok in z_spec.split())
+        except ValueError:
+            raise ScenarioError(
+                f"nyx.analysis_z_values = {z_spec!r}: expected numbers"
+            ) from None
+        redshifts = tuple(sorted(
+            (z for z in values if final_z <= z <= initial_z), reverse=True))
+
+    return Scenario(
+        name=name,
+        description=description,
+        source_dialect="nyx",
+        root_dims=root_dims,
+        max_level=max_level,
+        max_grid_size=max_grid_size,
+        ncycles=ncycles,
+        checkpoint_every=checkpoint_every,
+        plot_every=plot_every,
+        plot_fields=plot_fields,
+        output_redshifts=redshifts,
+        initial_redshift=initial_z,
+        final_redshift=final_z,
+    ).validate()
+
+
+def emit_nyx(scenario: Scenario) -> str:
+    """Write a scenario back out in the Nyx dialect (round-trip tests)."""
+    lines = [
+        f"# {scenario.name}: {scenario.description or 'scenario'}",
+        "amr.max_level                       = "
+        f"{scenario.max_level}",
+        "amr.n_cell                          = {} {} {}".format(
+            *scenario.root_dims),
+        f"max_step                            = {scenario.ncycles}",
+    ]
+    if scenario.max_grid_size:
+        lines.insert(2, "amr.max_grid_size                   = "
+                     f"{scenario.max_grid_size}")
+    lines += [
+        "amr.plot_files_output               = "
+        f"{1 if scenario.plot_every else 0}",
+        f"amr.plot_int                        = {scenario.plot_every or 1}",
+        "amr.plot_vars                       = "
+        f"{' '.join(scenario.plot_fields)}",
+        "amr.checkpoint_files_output         = "
+        f"{1 if scenario.checkpoint_every else 0}",
+        "amr.check_int                       = "
+        f"{scenario.checkpoint_every or 1}",
+    ]
+    if scenario.initial_redshift or scenario.final_redshift:
+        lines += [
+            f"nyx.initial_z                       = {scenario.initial_redshift}",
+            f"nyx.final_z                         = {scenario.final_redshift}",
+        ]
+    if scenario.output_redshifts:
+        lines.append(
+            "nyx.analysis_z_values               = "
+            + " ".join(str(z) for z in scenario.output_redshifts))
+    return "\n".join(lines) + "\n"
